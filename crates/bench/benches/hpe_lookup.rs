@@ -1,0 +1,75 @@
+//! E2: HPE decision-block lookup cost across filter bank sizes and cost
+//! models (DESIGN.md §5.2 ablation: exact entries vs range cover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polsec_can::CanId;
+use polsec_hpe::{synthesize_id_mask_cover, ApprovedList, CostModel, DecisionBlock};
+use std::hint::black_box;
+
+fn list_with_exact_entries(n: usize) -> ApprovedList {
+    let mut l = ApprovedList::with_capacity(n.max(1));
+    for i in 0..n {
+        l.add_exact(CanId::standard((i as u32 * 7) & 0x7FF).expect("valid"))
+            .expect("capacity");
+    }
+    l
+}
+
+fn bench_lookup_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpe/lookup_bank_size");
+    for &n in &[2usize, 8, 16, 64] {
+        let list = list_with_exact_entries(n);
+        let block = DecisionBlock::default();
+        let hit = CanId::standard(((n as u32 - 1) * 7) & 0x7FF).expect("valid");
+        let miss = CanId::standard(0x7FE).expect("valid");
+        group.bench_with_input(BenchmarkId::new("hit_last", n), &n, |b, _| {
+            b.iter(|| black_box(block.decide(&list, black_box(hit))));
+        });
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            b.iter(|| black_box(block.decide(&list, black_box(miss))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpe/cost_model");
+    let list = list_with_exact_entries(16);
+    for (label, model) in [
+        ("serial", CostModel::Serial { base: 2, per_entry: 1 }),
+        ("parallel", CostModel::Parallel { cycles: 2 }),
+    ] {
+        let block = DecisionBlock::new(model);
+        let id = CanId::standard(0x7FE).expect("valid");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(block.decide(&list, black_box(id))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_cover_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpe/range_cover");
+    for (label, lo, hi) in [
+        ("aligned_256", 0x100u32, 0x1FFu32),
+        ("worst_case", 0x001, 0x7FE),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(synthesize_id_mask_cover(black_box(lo), black_box(hi))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets =
+    bench_lookup_sizes,
+    bench_cost_models,
+    bench_range_cover_synthesis
+);
+criterion_main!(benches);

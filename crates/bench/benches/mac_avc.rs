@@ -1,0 +1,70 @@
+//! E5: MAC access-vector-cache effectiveness — cached checks vs policy
+//! walks, and the cost of a reload invalidation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polsec_mac::{Enforcer, MacPolicy, PolicyModule, SecurityContext, TeRule};
+use std::hint::black_box;
+
+fn build_enforcer(rules: usize) -> Enforcer {
+    let mut m = PolicyModule::new("bench", 1);
+    m.declare_type("canbus_t");
+    for i in 0..rules {
+        let t = format!("app{i}_t");
+        m.declare_type(t.clone());
+        m.add_allow(TeRule::allow(t, "canbus_t", "can_socket", &["read", "write"]));
+    }
+    let mut p = MacPolicy::new();
+    p.load_module(m).expect("bench module loads");
+    Enforcer::new(p)
+}
+
+fn bench_avc_hit_vs_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac/avc");
+    let scon = SecurityContext::new("system", "system_r", "app499_t");
+    let tcon = SecurityContext::object("canbus_t");
+
+    group.bench_function("cached_hit", |b| {
+        let mut e = build_enforcer(500);
+        e.check(&scon, &tcon, "can_socket", "read"); // warm the cache
+        b.iter(|| black_box(e.check(&scon, &tcon, "can_socket", "read")));
+    });
+
+    group.bench_function("policy_walk_500_rules", |b| {
+        b.iter_with_setup(
+            || build_enforcer(500),
+            |mut e| {
+                black_box(e.check(&scon, &tcon, "can_socket", "read"));
+            },
+        );
+    });
+    group.finish();
+}
+
+fn bench_reload_invalidation(c: &mut Criterion) {
+    c.bench_function("mac/reload_then_check", |b| {
+        let scon = SecurityContext::new("system", "system_r", "app10_t");
+        let tcon = SecurityContext::object("canbus_t");
+        b.iter_with_setup(
+            || {
+                let mut e = build_enforcer(100);
+                e.check(&scon, &tcon, "can_socket", "read");
+                e
+            },
+            |mut e| {
+                let mut extra = PolicyModule::new("hotload", 1);
+                extra.declare_type("new_t");
+                e.policy_mut().load_module(extra).expect("loads");
+                black_box(e.check(&scon, &tcon, "can_socket", "read"));
+            },
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_avc_hit_vs_miss, bench_reload_invalidation);
+criterion_main!(benches);

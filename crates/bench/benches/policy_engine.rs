@@ -1,0 +1,91 @@
+//! E4: policy-engine evaluation throughput.
+//!
+//! Sweeps rule count, compares combining strategies, and ablates the
+//! subject index (DESIGN.md §5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polsec_core::{
+    AccessRequest, Action, ActionSet, CombiningStrategy, EntityId, EntityMatcher, EvalContext,
+    Pattern, Policy, PolicyEngine, PolicySet, Rule,
+};
+use polsec_core::Effect;
+use std::hint::black_box;
+
+fn policy_with_rules(n: usize) -> Policy {
+    let mut p = Policy::new("bench", 1);
+    for i in 0..n {
+        p = p
+            .add_rule(Rule::new(
+                format!("r{i}"),
+                if i % 4 == 0 { Effect::Deny } else { Effect::Allow },
+                ActionSet::of(&[Action::Read, Action::Write]),
+                EntityMatcher::new("entry", Pattern::Exact(format!("subject-{i}"))),
+                EntityMatcher::new("asset", Pattern::Exact(format!("asset-{}", i % 16))),
+            ))
+            .expect("unique rule ids");
+    }
+    p
+}
+
+fn request(i: usize) -> AccessRequest {
+    AccessRequest::new(
+        EntityId::new("entry", format!("subject-{i}")),
+        EntityId::new("asset", format!("asset-{}", i % 16)),
+        Action::Read,
+    )
+}
+
+fn bench_rule_count_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine/rule_count");
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        let engine = PolicyEngine::new(PolicySet::from_policy(policy_with_rules(n)));
+        let ctx = EvalContext::new().with_mode("normal");
+        let req = request(n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(engine.decide(black_box(&req), &ctx)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine/index_ablation");
+    let n = 1_000;
+    for (label, indexing) in [("indexed", true), ("linear", false)] {
+        let engine = PolicyEngine::new(PolicySet::from_policy(policy_with_rules(n)))
+            .with_indexing(indexing);
+        let ctx = EvalContext::new();
+        let req = request(n - 1);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.decide(black_box(&req), &ctx)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine/strategy");
+    for strategy in [
+        CombiningStrategy::DenyOverrides,
+        CombiningStrategy::FirstMatch,
+        CombiningStrategy::PriorityOrder,
+    ] {
+        let engine = PolicyEngine::new(PolicySet::from_policy(policy_with_rules(500)))
+            .with_strategy(strategy);
+        let ctx = EvalContext::new();
+        let req = request(250);
+        group.bench_function(strategy.to_string(), |b| {
+            b.iter(|| black_box(engine.decide(black_box(&req), &ctx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_rule_count_sweep, bench_index_ablation, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Reproduces Fig. 4: a CAN node with the integrated hardware-based policy
+//! engine — approved read/write lists, decision block, and the filtering of
+//! malicious traffic — plus the E2 overhead measurement.
+//!
+//! Usage: `cargo run -p polsec-bench --bin fig4_hpe`
+
+use polsec_bench::{banner, pct};
+use polsec_can::{CanBus, CanFrame, CanId, CanNode};
+use polsec_hpe::{ApprovedLists, CostModel, DecisionBlock, HardwarePolicyEngine};
+
+fn sid(v: u32) -> CanId {
+    CanId::standard(v).expect("valid id")
+}
+
+fn main() {
+    banner("Fig. 4 — CAN node with integrated hardware policy engine");
+
+    // Approved lists mirroring the figure: a read list and a write list.
+    let mut lists = ApprovedLists::with_capacity(16);
+    for id in [0x100u32, 0x110, 0x120] {
+        lists.allow_read(sid(id)).expect("capacity");
+    }
+    lists.allow_write(sid(0x060)).expect("capacity");
+    println!("approved lists: {lists}");
+
+    let hpe = HardwarePolicyEngine::new("node-hpe", lists);
+    let mut bus = CanBus::new(500_000);
+    let victim = bus.attach(CanNode::new("protected-node"));
+    let peer = bus.attach(CanNode::new("peer"));
+    let attacker = bus.attach(CanNode::new("malicious-node"));
+    bus.node_mut(victim)
+        .expect("node")
+        .install_interposer(Box::new(hpe.clone()));
+
+    // Legitimate traffic passes; spoofed identifiers are blocked.
+    bus.send_from(peer, CanFrame::data(sid(0x100), &[1]).expect("frame"))
+        .expect("send");
+    for spoof in [0x050u32, 0x200, 0x310, 0x7FF] {
+        bus.send_from(attacker, CanFrame::data(sid(spoof), &[0xEE]).expect("frame"))
+            .expect("send");
+    }
+    bus.run_until_idle();
+
+    let t = hpe.telemetry();
+    println!("read path  : granted {}, blocked {}", t.read_granted, t.read_blocked);
+    println!("write path : granted {}, blocked {}", t.write_granted, t.write_blocked);
+    if let Some((id, n)) = t.top_blocked_id() {
+        println!("top blocked id: 0x{id:03X} ({n} frames)");
+    }
+    println!("mean lookup cost: {:.1} cycles", t.mean_cycles());
+
+    banner("Tamper resistance (transparent to system software)");
+    match hpe.firmware_attempt_reconfigure() {
+        Err(e) => println!("firmware reconfiguration attempt: {e}"),
+        Ok(()) => unreachable!("the hardware block never accepts"),
+    }
+    println!("tamper attempts recorded: {}", hpe.telemetry().tamper_attempts);
+
+    banner("E2 — lookup overhead vs filter bank size (serial vs parallel)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>18}",
+        "entries", "serial worst(cy)", "parallel(cy)", "serial @100MHz(ns)"
+    );
+    for size in [2usize, 4, 8, 16, 32, 64] {
+        let serial = CostModel::Serial { base: 2, per_entry: 1 };
+        let parallel = CostModel::Parallel { cycles: 2 };
+        let sc = serial.worst_case_cycles(size);
+        println!(
+            "{size:>8} {sc:>16} {:>16} {:>18.1}",
+            parallel.worst_case_cycles(size),
+            CostModel::cycles_to_ns(sc, 100),
+        );
+    }
+
+    banner("E2 — end-to-end bus overhead with HPE on every node");
+    for (label, with_hpe) in [("without hpe", false), ("with hpe", true)] {
+        let mut bus = CanBus::new(500_000);
+        let a = bus.attach(CanNode::new("a"));
+        let b = bus.attach(CanNode::new("b"));
+        if with_hpe {
+            for h in [a, b] {
+                let mut lists = ApprovedLists::with_capacity(16);
+                lists.allow_read(sid(0x123)).expect("capacity");
+                lists.allow_write(sid(0x123)).expect("capacity");
+                let hpe = HardwarePolicyEngine::new("hpe", lists)
+                    .with_decision_block(DecisionBlock::new(CostModel::default()));
+                bus.node_mut(h).expect("node").install_interposer(Box::new(hpe));
+            }
+        }
+        // 60 frames: within the controller's 64-entry TX queue
+        for i in 0..60u32 {
+            bus.send_from(a, CanFrame::data(sid(0x123), &[i as u8]).expect("frame"))
+                .expect("send");
+        }
+        bus.run_until_idle();
+        let stats = bus.stats();
+        println!(
+            "{label:<12}: {} frames in {} (utilisation {})",
+            stats.frames_transmitted,
+            bus.now(),
+            pct(stats.utilisation(bus.now()))
+        );
+    }
+    println!(
+        "\nThe HPE adds per-frame decision cycles inside the node, not bus time: \
+         identical wire schedules, microseconds of lookup latency at node clock \
+         speed (see `cargo bench -p polsec-bench hpe_lookup` for exact numbers)."
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table I of the paper from the executable threat model.
+//!
+//! Usage: `cargo run -p polsec-bench --bin table1`
+
+use polsec_bench::banner;
+use polsec_car::{car_use_case, TABLE1};
+use polsec_model::report::render_threat_table;
+use polsec_model::DreadScore;
+
+fn main() {
+    banner("Table I — Threat modelling of a connected car application use case");
+    let uc = car_use_case();
+    println!("{}", render_threat_table(&uc));
+
+    banner("Verification against the paper");
+    let mut all_ok = true;
+    for row in &TABLE1 {
+        let d = DreadScore::new(row.dread[0], row.dread[1], row.dread[2], row.dread[3], row.dread[4])
+            .expect("table scores valid");
+        let ok = (d.average_1dp() - row.printed_average).abs() < 1e-9;
+        all_ok &= ok;
+        println!(
+            "{:<4} DREAD {} paper-avg {:.1} {}",
+            row.id,
+            d,
+            row.printed_average,
+            if ok { "MATCH" } else { "MISMATCH" }
+        );
+    }
+    println!(
+        "\n{} / {} rows reproduce the paper's printed averages exactly",
+        TABLE1.iter().filter(|r| {
+            let d = DreadScore::new(r.dread[0], r.dread[1], r.dread[2], r.dread[3], r.dread[4])
+                .expect("valid");
+            (d.average_1dp() - r.printed_average).abs() < 1e-9
+        }).count(),
+        TABLE1.len()
+    );
+    assert!(all_ok, "table reproduction failed");
+}

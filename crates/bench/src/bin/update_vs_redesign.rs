@@ -1,0 +1,89 @@
+//! E3: policy update vs product redesign when a new threat is discovered
+//! after deployment (the paper's §V.A comparison).
+//!
+//! The scenario: the t13 unlock-in-motion attack is discovered in the
+//! field. The guideline path requires redeveloping the door module; the
+//! policy path ships a signed bundle. This harness (a) measures the
+//! *mechanical* turnaround of the policy path end to end on the simulated
+//! fleet, and (b) prints the staged engineering-cost model for both paths.
+//!
+//! Usage: `cargo run -p polsec-bench --bin update_vs_redesign`
+
+use polsec_bench::banner;
+use polsec_core::dsl::parse_policy;
+use polsec_core::{DevicePolicyStore, PolicyBundle, PolicySet};
+use polsec_model::{Countermeasure, PolicySpec, RemediationCost};
+use polsec_model::{AssetId, EntryPointId, OperatingMode, PermissionHint};
+use std::time::Instant;
+
+fn main() {
+    banner("E3 — Remediation paths for a post-deployment threat (row t13)");
+
+    let guideline = Countermeasure::Guideline {
+        text: "redesign door module: require vehicle-stationary interlock in firmware".into(),
+    };
+    let policy_cm = Countermeasure::Policy {
+        spec: PolicySpec {
+            asset: AssetId::new("door-locks"),
+            entry_points: vec![EntryPointId::new("telematics")],
+            permission: PermissionHint::Read,
+            modes: vec![OperatingMode::new("normal")],
+            rationale: "unlock attempt while in motion".into(),
+        },
+    };
+
+    banner("Staged engineering-cost model (days)");
+    println!("{:<22} {}", "guideline/redesign:", RemediationCost::redesign());
+    println!("{:<22} {}", "policy update:", RemediationCost::policy_update());
+    let ratio = RemediationCost::redesign().total_days() as f64
+        / RemediationCost::policy_update().total_days() as f64;
+    println!("turnaround ratio: {ratio:.1}x in favour of the policy path");
+    println!("field-updatable: guideline={}, policy={}",
+        guideline.is_field_updatable(), policy_cm.is_field_updatable());
+
+    banner("Mechanical turnaround of the policy path (measured)");
+    let key = b"oem-fleet-key".to_vec();
+    let patched_policy = parse_policy(
+        r#"policy "door-locks-hotfix" version 2 {
+            default deny;
+            allow read on asset:door-locks from entry:* as read-ok;
+            allow write on asset:door-locks from entry:manual as manual-ok;
+            allow write on asset:door-locks from entry:telematics
+                when state.vehicle.moving == false as parked-only;
+        }"#,
+    )
+    .expect("hotfix parses");
+
+    let fleet_size = 10_000;
+    let start = Instant::now();
+    let bundle = PolicyBundle::new(2, "t13 hotfix: deny remote unlock in motion", vec![patched_policy]);
+    let signed = bundle.sign(&key);
+    let sign_time = start.elapsed();
+
+    let apply_start = Instant::now();
+    let mut applied = 0u64;
+    for _ in 0..fleet_size {
+        let mut store = DevicePolicyStore::new(PolicySet::new(), key.clone());
+        store.apply(&signed).expect("bundle verifies");
+        applied += u64::from(store.version() == 2);
+    }
+    let apply_time = apply_start.elapsed();
+
+    println!("bundle: {bundle}");
+    println!("signing the bundle      : {sign_time:?}");
+    println!(
+        "verify+apply on {} devices: {:?} ({:.1} us/device)",
+        fleet_size,
+        apply_time,
+        apply_time.as_micros() as f64 / fleet_size as f64
+    );
+    assert_eq!(applied, fleet_size as u64);
+
+    banner("Tampered / forged updates are rejected fleet-wide");
+    let mut store = DevicePolicyStore::new(PolicySet::new(), key.clone());
+    let forged = PolicyBundle::new(3, "malicious", vec![]).sign(b"attacker-key");
+    println!("forged bundle   : {:?}", store.apply(&forged).unwrap_err());
+    println!("tampered bundle : {:?}", store.apply(&signed.tampered()).unwrap_err());
+    store.apply(&signed).expect("authentic bundle still applies");
+    println!("authentic bundle: applied, device at version {}", store.version());
+}

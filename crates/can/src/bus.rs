@@ -1,0 +1,604 @@
+//! The shared CAN bus.
+//!
+//! [`CanBus`] is a deterministic broadcast medium with CSMA/CR arbitration:
+//! in each round every node offers its highest-priority pending frame, the
+//! lowest arbitration key wins, losers requeue, and the winning frame is
+//! delivered to every other node. Frame timing is derived from the real
+//! encoded wire length (including stuff bits), so bus-load measurements are
+//! protocol-accurate.
+//!
+//! An optional [`ErrorModel`] corrupts frames on the wire, driving the
+//! fault-confinement state machines — this is how the E1 bus-off attack
+//! experiments are injected.
+
+use crate::codec;
+use crate::error::CanError;
+use crate::frame::CanFrame;
+use crate::id::CanId;
+use crate::node::CanNode;
+use crate::stats::BusStats;
+use polsec_sim::{DetRng, SimDuration, SimTime, Trace};
+use std::fmt;
+
+/// An opaque handle to a node attached to a bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeHandle(usize);
+
+impl NodeHandle {
+    /// The raw index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Wire-level error injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorModel {
+    /// Probability that a targeted frame is corrupted on the wire.
+    pub probability: f64,
+    /// Only frames with these identifiers are targeted; `None` targets all.
+    pub target_ids: Option<Vec<CanId>>,
+}
+
+impl ErrorModel {
+    fn targets(&self, id: CanId) -> bool {
+        match &self.target_ids {
+            None => true,
+            Some(ids) => ids.contains(&id),
+        }
+    }
+}
+
+/// Something observable that happened on the bus (delivered via
+/// [`CanBus::drain_events`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusEvent {
+    /// A frame completed transmission.
+    Transmitted {
+        /// Sending node.
+        from: NodeHandle,
+        /// The frame.
+        frame: CanFrame,
+        /// Completion time.
+        at: SimTime,
+    },
+    /// A frame was corrupted on the wire.
+    Corrupted {
+        /// Sending node.
+        from: NodeHandle,
+        /// The frame.
+        frame: CanFrame,
+        /// Attempt number (1-based).
+        attempt: u32,
+    },
+    /// A frame exceeded the retry limit and was dropped.
+    Abandoned {
+        /// Sending node.
+        from: NodeHandle,
+        /// The frame.
+        frame: CanFrame,
+    },
+}
+
+/// Maximum retransmission attempts before a frame is abandoned.
+pub const DEFAULT_RETRY_LIMIT: u32 = 4;
+
+/// Safety bound on arbitration rounds per [`CanBus::run_until_idle`] call.
+pub const MAX_ROUNDS: u64 = 1_000_000;
+
+/// A deterministic simulated CAN bus.
+pub struct CanBus {
+    nodes: Vec<CanNode>,
+    bitrate: u32,
+    now: SimTime,
+    stats: BusStats,
+    error_model: Option<ErrorModel>,
+    rng: DetRng,
+    retry_limit: u32,
+    retrying: Vec<(NodeHandle, CanFrame, u32)>,
+    events: Vec<BusEvent>,
+    trace: Trace,
+}
+
+impl fmt::Debug for CanBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CanBus")
+            .field("nodes", &self.nodes.len())
+            .field("bitrate", &self.bitrate)
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl CanBus {
+    /// Creates a bus with the given bit rate (bits/second).
+    ///
+    /// Typical automotive rates: 125 000 (comfort), 500 000 (powertrain),
+    /// 1 000 000 (diagnostics).
+    ///
+    /// # Panics
+    /// Panics if `bitrate` is zero.
+    pub fn new(bitrate: u32) -> Self {
+        assert!(bitrate > 0, "bitrate must be positive");
+        CanBus {
+            nodes: Vec::new(),
+            bitrate,
+            now: SimTime::ZERO,
+            stats: BusStats::new(),
+            error_model: None,
+            rng: DetRng::seed_from(0xC0FFEE),
+            retry_limit: DEFAULT_RETRY_LIMIT,
+            retrying: Vec::new(),
+            events: Vec::new(),
+            trace: Trace::default(),
+        }
+    }
+
+    /// Attaches a node, returning its handle.
+    pub fn attach(&mut self, node: CanNode) -> NodeHandle {
+        self.nodes.push(node);
+        NodeHandle(self.nodes.len() - 1)
+    }
+
+    /// The number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, h: NodeHandle) -> Option<&CanNode> {
+        self.nodes.get(h.0)
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, h: NodeHandle) -> Option<&mut CanNode> {
+        self.nodes.get_mut(h.0)
+    }
+
+    /// Finds a node handle by name.
+    pub fn find(&self, name: &str) -> Option<NodeHandle> {
+        self.nodes
+            .iter()
+            .position(|n| n.name() == name)
+            .map(NodeHandle)
+    }
+
+    /// Iterates `(handle, node)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeHandle, &CanNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeHandle(i), n))
+    }
+
+    /// Installs (or clears) the wire error model, reseeding the bus RNG so
+    /// runs are reproducible per configuration.
+    pub fn set_error_model(&mut self, model: Option<ErrorModel>, seed: u64) {
+        self.error_model = model;
+        self.rng = DetRng::seed_from(seed);
+    }
+
+    /// Sets the retransmission limit.
+    pub fn set_retry_limit(&mut self, limit: u32) {
+        self.retry_limit = limit;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The bounded trace of bus activity.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes all events recorded since the last drain.
+    pub fn drain_events(&mut self) -> Vec<BusEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Ticks every node's firmware once (periodic application work).
+    pub fn tick_all(&mut self) {
+        let now = self.now;
+        for n in &mut self.nodes {
+            n.tick(now);
+        }
+    }
+
+    /// Enqueues a frame on a node by handle.
+    ///
+    /// # Errors
+    /// [`CanError::UnknownNode`] for a bad handle; queueing errors are
+    /// surfaced in the node log (see [`CanNode::send`]).
+    pub fn send_from(&mut self, h: NodeHandle, frame: CanFrame) -> Result<(), CanError> {
+        let node = self
+            .nodes
+            .get_mut(h.0)
+            .ok_or(CanError::UnknownNode { handle: h.0 })?;
+        node.send(frame);
+        Ok(())
+    }
+
+    fn wire_duration(&self, bits: u64) -> SimDuration {
+        // ceil(bits * 1e6 / bitrate) microseconds
+        let us = (bits * 1_000_000).div_ceil(self.bitrate as u64);
+        SimDuration::micros(us)
+    }
+
+    /// Runs arbitration rounds until no node has pending traffic, returning
+    /// the number of frames that completed. Bounded by [`MAX_ROUNDS`].
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut completed = 0;
+        for _ in 0..MAX_ROUNDS {
+            if self.step().is_none() {
+                break;
+            }
+            completed += 1;
+        }
+        completed
+    }
+
+    /// Executes one arbitration round: picks a winner, transmits, delivers.
+    /// Returns the winning frame, or `None` when the bus is idle.
+    pub fn step(&mut self) -> Option<CanFrame> {
+        // Gather candidates: retries first (they are already egress-cleared),
+        // then one fresh frame per node.
+        let mut candidates: Vec<(NodeHandle, CanFrame, u32)> = Vec::new();
+        let retrying = std::mem::take(&mut self.retrying);
+        for (h, f, attempts) in retrying {
+            candidates.push((h, f, attempts));
+        }
+        let now = self.now;
+        for i in 0..self.nodes.len() {
+            if candidates.iter().any(|(h, _, _)| h.0 == i) {
+                continue; // node already contending with a retry
+            }
+            if !self.nodes[i].controller().counters().can_transmit() {
+                continue;
+            }
+            if let Some(f) = self.nodes[i].take_tx(now) {
+                candidates.push((NodeHandle(i), f, 0));
+            }
+        }
+        // account egress blocks discovered during take_tx
+        self.stats.frames_blocked_egress = self
+            .nodes
+            .iter()
+            .map(|n| n.egress_blocked())
+            .sum();
+
+        if candidates.is_empty() {
+            return None;
+        }
+
+        self.stats.arbitration_rounds += 1;
+        if candidates.len() > 1 {
+            self.stats.arbitration_contended += 1;
+        }
+
+        // Winner: lowest arbitration key; ties by handle index (deterministic
+        // stand-in for simultaneous-start resolution).
+        let win_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (h, f, _))| (f.id().arbitration_key(), h.0))
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        let (winner, frame, attempts) = candidates.swap_remove(win_idx);
+
+        // Losers requeue into their controllers (retries stay bus-side).
+        for (h, f, att) in candidates {
+            if att > 0 {
+                self.retrying.push((h, f, att));
+            } else {
+                self.nodes[h.0].controller_mut().requeue_tx(f);
+            }
+        }
+
+        // Is anyone listening? A lone node gets no ACK.
+        let listeners = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != winner.0 && n.controller().counters().can_transmit())
+            .count();
+
+        let corrupted = match &self.error_model {
+            Some(m) if m.targets(frame.id()) => self.rng.chance(m.probability),
+            _ => false,
+        };
+
+        let enc = codec::encode(&frame, listeners > 0 && !corrupted);
+
+        if corrupted || listeners == 0 {
+            // Occupies roughly half a frame plus an error flag + delimiter.
+            let bits = (enc.len() as u64) / 2 + 14;
+            self.stats.bits_on_wire += bits;
+            let d = self.wire_duration(bits);
+            self.stats.busy_time += d;
+            self.now += d;
+            if corrupted {
+                self.stats.frames_corrupted += 1;
+            }
+            self.nodes[winner.0].controller_mut().counters_mut().record_tx_error();
+            for (i, n) in self.nodes.iter_mut().enumerate() {
+                if i != winner.0 && corrupted {
+                    n.controller_mut().counters_mut().record_rx_error();
+                }
+            }
+            let attempt = attempts + 1;
+            self.events.push(BusEvent::Corrupted {
+                from: winner,
+                frame: frame.clone(),
+                attempt,
+            });
+            self.trace.record(
+                self.now,
+                "bus.corrupt",
+                format!("{frame} from {winner} attempt {attempt}"),
+            );
+            if attempt > self.retry_limit
+                || !self.nodes[winner.0].controller().counters().can_transmit()
+            {
+                self.stats.frames_abandoned += 1;
+                self.events.push(BusEvent::Abandoned {
+                    from: winner,
+                    frame: frame.clone(),
+                });
+                self.trace
+                    .record(self.now, "bus.abandon", format!("{frame} from {winner}"));
+            } else {
+                self.retrying.push((winner, frame.clone(), attempt));
+            }
+            return Some(frame);
+        }
+
+        // Successful transmission: time = wire bits + 3-bit IFS.
+        let bits = enc.len() as u64 + 3;
+        self.stats.bits_on_wire += bits;
+        self.stats.stuff_bits += enc.stuff_bits() as u64;
+        let d = self.wire_duration(bits);
+        self.stats.busy_time += d;
+        self.now += d;
+        self.stats.frames_transmitted += 1;
+        self.nodes[winner.0]
+            .controller_mut()
+            .counters_mut()
+            .record_tx_success();
+
+        let now = self.now;
+        let mut blocked_before: u64 = 0;
+        let mut blocked_after: u64 = 0;
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if i == winner.0 {
+                continue;
+            }
+            blocked_before += n.ingress_blocked();
+            let accepted = n.deliver(now, &frame);
+            blocked_after += n.ingress_blocked();
+            n.controller_mut().counters_mut().record_rx_success();
+            if accepted {
+                self.stats.frames_delivered += 1;
+            } else {
+                self.stats.frames_rejected += 1;
+            }
+        }
+        // re-classify interposer blocks out of the generic reject count
+        let newly_blocked = blocked_after - blocked_before;
+        self.stats.frames_blocked_ingress += newly_blocked;
+        self.stats.frames_rejected -= newly_blocked;
+
+        self.events.push(BusEvent::Transmitted {
+            from: winner,
+            frame: frame.clone(),
+            at: self.now,
+        });
+        self.trace
+            .record(self.now, "bus.tx", format!("{frame} from {winner}"));
+        Some(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::AcceptanceFilter;
+
+    fn frame(id: u32, byte: u8) -> CanFrame {
+        CanFrame::data(CanId::standard(id).unwrap(), &[byte]).unwrap()
+    }
+
+    fn two_node_bus() -> (CanBus, NodeHandle, NodeHandle) {
+        let mut bus = CanBus::new(500_000);
+        let a = bus.attach(CanNode::new("a"));
+        let b = bus.attach(CanNode::new("b"));
+        (bus, a, b)
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_nodes() {
+        let mut bus = CanBus::new(500_000);
+        let a = bus.attach(CanNode::new("a"));
+        let _b = bus.attach(CanNode::new("b"));
+        let _c = bus.attach(CanNode::new("c"));
+        bus.send_from(a, frame(0x100, 1)).unwrap();
+        assert_eq!(bus.run_until_idle(), 1);
+        assert_eq!(bus.stats().frames_delivered, 2);
+        // sender does not receive its own frame
+        assert!(bus.node_mut(a).unwrap().receive().is_none());
+    }
+
+    #[test]
+    fn arbitration_lowest_id_wins() {
+        let (mut bus, a, b) = two_node_bus();
+        bus.send_from(a, frame(0x300, 0xAA)).unwrap();
+        bus.send_from(b, frame(0x100, 0xBB)).unwrap();
+        let first = bus.step().unwrap();
+        assert_eq!(first.id().raw(), 0x100, "lower id must win");
+        let second = bus.step().unwrap();
+        assert_eq!(second.id().raw(), 0x300);
+        assert_eq!(bus.stats().arbitration_contended, 1);
+        assert_eq!(bus.stats().arbitration_rounds, 2);
+    }
+
+    #[test]
+    fn time_advances_with_wire_length() {
+        let (mut bus, a, _b) = two_node_bus();
+        bus.send_from(a, frame(0x10, 0)).unwrap();
+        bus.run_until_idle();
+        // 1-byte standard frame ≥ 55 wire bits + IFS at 2us/bit ⇒ ≥ 110us
+        assert!(bus.now() >= SimTime::from_micros(110), "now={}", bus.now());
+        assert!(bus.stats().busy_time.as_micros() > 0);
+        assert!(bus.stats().utilisation(bus.now()) > 0.99);
+    }
+
+    #[test]
+    fn receiver_filter_rejects() {
+        let (mut bus, a, b) = two_node_bus();
+        bus.node_mut(b)
+            .unwrap()
+            .controller_mut()
+            .filters_mut()
+            .add(AcceptanceFilter::exact(CanId::standard(0x500).unwrap()));
+        bus.send_from(a, frame(0x100, 0)).unwrap();
+        bus.run_until_idle();
+        assert_eq!(bus.stats().frames_rejected, 1);
+        assert_eq!(bus.stats().frames_delivered, 0);
+        assert!(bus.node_mut(b).unwrap().receive().is_none());
+    }
+
+    #[test]
+    fn lone_node_gets_no_ack_and_abandons() {
+        let mut bus = CanBus::new(500_000);
+        let a = bus.attach(CanNode::new("lonely"));
+        bus.send_from(a, frame(0x1, 0)).unwrap();
+        bus.run_until_idle();
+        assert_eq!(bus.stats().frames_transmitted, 0);
+        assert_eq!(bus.stats().frames_abandoned, 1);
+        let tec = bus.node(a).unwrap().controller().counters().tec();
+        assert!(tec > 0, "ACK errors must raise TEC");
+    }
+
+    #[test]
+    fn error_model_corrupts_and_retries() {
+        let (mut bus, a, _b) = two_node_bus();
+        bus.set_error_model(
+            Some(ErrorModel {
+                probability: 1.0,
+                target_ids: None,
+            }),
+            7,
+        );
+        bus.send_from(a, frame(0x42, 0)).unwrap();
+        bus.run_until_idle();
+        assert_eq!(bus.stats().frames_transmitted, 0);
+        assert!(bus.stats().frames_corrupted >= 1);
+        assert_eq!(bus.stats().frames_abandoned, 1);
+        let events = bus.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, BusEvent::Abandoned { .. })));
+    }
+
+    #[test]
+    fn targeted_corruption_spares_other_ids() {
+        let (mut bus, a, _b) = two_node_bus();
+        bus.set_error_model(
+            Some(ErrorModel {
+                probability: 1.0,
+                target_ids: Some(vec![CanId::standard(0x100).unwrap()]),
+            }),
+            7,
+        );
+        bus.send_from(a, frame(0x100, 0)).unwrap();
+        bus.send_from(a, frame(0x200, 0)).unwrap();
+        bus.run_until_idle();
+        assert_eq!(bus.stats().frames_transmitted, 1, "0x200 must pass");
+        assert!(bus.stats().frames_corrupted >= 1, "0x100 must be corrupted");
+    }
+
+    #[test]
+    fn persistent_corruption_drives_transmitter_towards_bus_off() {
+        let (mut bus, a, _b) = two_node_bus();
+        bus.set_retry_limit(1000);
+        bus.set_error_model(
+            Some(ErrorModel {
+                probability: 1.0,
+                target_ids: None,
+            }),
+            3,
+        );
+        for i in 0..40 {
+            bus.send_from(a, frame(0x50, i)).unwrap();
+        }
+        bus.run_until_idle();
+        use crate::fault::ErrorState;
+        assert_eq!(
+            bus.node(a).unwrap().controller().counters().state(),
+            ErrorState::BusOff,
+            "sustained corruption must bus-off the transmitter"
+        );
+    }
+
+    #[test]
+    fn firmware_chatter_terminates_via_round_bound() {
+        // Echo firmware answering every frame with the same id would loop
+        // forever; the round bound must stop it.
+        use crate::node::{Firmware, FirmwareAction};
+        struct Chatter;
+        impl Firmware for Chatter {
+            fn on_frame(&mut self, _n: SimTime, f: &CanFrame) -> Vec<FirmwareAction> {
+                vec![FirmwareAction::Send(f.clone())]
+            }
+        }
+        let mut bus = CanBus::new(1_000_000);
+        let a = bus.attach(CanNode::with_firmware("a", Box::new(Chatter)));
+        let _b = bus.attach(CanNode::with_firmware("b", Box::new(Chatter)));
+        bus.send_from(a, frame(0x1, 0)).unwrap();
+        // run only a bounded number of steps here to keep the test fast
+        for _ in 0..100 {
+            bus.step();
+        }
+        assert!(bus.stats().frames_transmitted >= 99);
+    }
+
+    #[test]
+    fn find_by_name_and_handles() {
+        let (bus, a, b) = two_node_bus();
+        assert_eq!(bus.find("a"), Some(a));
+        assert_eq!(bus.find("b"), Some(b));
+        assert_eq!(bus.find("zz"), None);
+        assert_eq!(bus.node_count(), 2);
+        assert_eq!(a.to_string(), "node#0");
+    }
+
+    #[test]
+    fn send_from_unknown_handle_errors() {
+        let (mut bus, _a, _b) = two_node_bus();
+        let bogus = NodeHandle(99);
+        assert!(matches!(
+            bus.send_from(bogus, frame(1, 0)),
+            Err(CanError::UnknownNode { handle: 99 })
+        ));
+    }
+
+    #[test]
+    fn stats_stuffing_and_trace_populated() {
+        let (mut bus, a, _b) = two_node_bus();
+        bus.send_from(a, CanFrame::data(CanId::standard(0).unwrap(), &[0; 8]).unwrap())
+            .unwrap();
+        bus.run_until_idle();
+        assert!(bus.stats().stuff_bits > 0);
+        assert_eq!(bus.trace().count("bus.tx"), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Bit-level frame encoding and decoding.
+//!
+//! Implements the classic CAN (ISO 11898-1) frame layout:
+//!
+//! ```text
+//! standard: SOF | ID[11] | RTR | IDE(0) | r0 | DLC[4] | data | CRC[15] |
+//!           CRCdel(1) | ACK | ACKdel(1) | EOF[7×1]
+//! extended: SOF | ID[28:18] | SRR(1) | IDE(1) | ID[17:0] | RTR | r1 | r0 |
+//!           DLC[4] | data | CRC[15] | ...
+//! ```
+//!
+//! Bit stuffing covers SOF through the CRC sequence; the CRC is computed over
+//! the *unstuffed* bits of the same region. Dominant = `false` (0),
+//! recessive = `true` (1).
+
+use crate::bits::{stuff, BitReader, BitWriter};
+use crate::crc::crc15;
+use crate::error::ProtocolViolation;
+use crate::frame::CanFrame;
+use crate::id::CanId;
+
+/// Encodes the stuffed region (SOF..CRC) *before* stuffing.
+fn encode_stuffed_region(frame: &CanFrame) -> Vec<bool> {
+    let mut w = BitWriter::new();
+    w.push(false); // SOF, dominant
+    match frame.id() {
+        CanId::Standard(id) => {
+            w.push_bits(id as u32, 11);
+            w.push(frame.is_remote()); // RTR
+            w.push(false); // IDE = 0 (standard)
+            w.push(false); // r0
+        }
+        CanId::Extended(id) => {
+            w.push_bits(id >> 18, 11); // base id
+            w.push(true); // SRR, recessive
+            w.push(true); // IDE = 1 (extended)
+            w.push_bits(id & 0x3_FFFF, 18); // id extension
+            w.push(frame.is_remote()); // RTR
+            w.push(false); // r1
+            w.push(false); // r0
+        }
+    }
+    w.push_bits(frame.dlc() as u32, 4);
+    for &b in frame.payload() {
+        w.push_bits(b as u32, 8);
+    }
+    let crc = crc15(w.bits());
+    w.push_bits(crc as u32, 15);
+    w.into_bits()
+}
+
+/// An encoded frame ready for the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFrame {
+    bits: Vec<bool>,
+    stuff_bits: usize,
+}
+
+impl EncodedFrame {
+    /// The full wire bit sequence (stuffed region + delimiters + EOF).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Total length on the wire in bits (excluding interframe space).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the encoding is empty (never true for a valid frame).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// How many stuff bits were inserted.
+    pub fn stuff_bits(&self) -> usize {
+        self.stuff_bits
+    }
+}
+
+/// Encodes a frame to wire bits.
+///
+/// `acked` selects the level of the ACK slot: a frame that at least one
+/// receiver acknowledged carries a dominant ACK slot; an unacknowledged frame
+/// leaves it recessive (and the transmitter would raise an ACK error).
+///
+/// # Example
+/// ```
+/// use polsec_can::{codec, CanFrame, CanId};
+/// let f = CanFrame::data(CanId::standard(0x100)?, &[1, 2])?;
+/// let enc = codec::encode(&f, true);
+/// let back = codec::decode(enc.bits())?;
+/// assert_eq!(back, f);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(frame: &CanFrame, acked: bool) -> EncodedFrame {
+    let region = encode_stuffed_region(frame);
+    let stuffed = stuff(&region);
+    let stuff_bits = stuffed.len() - region.len();
+    let mut bits = stuffed;
+    bits.push(true); // CRC delimiter, recessive
+    bits.push(!acked); // ACK slot: dominant (false) when acknowledged
+    bits.push(true); // ACK delimiter
+    bits.extend(std::iter::repeat_n(true, 7)); // EOF
+    EncodedFrame { bits, stuff_bits }
+}
+
+/// A reader over stuffed bits that transparently removes stuff bits and
+/// validates stuffing as it goes.
+struct DestuffingReader<'a> {
+    inner: BitReader<'a>,
+    run_bit: Option<bool>,
+    run_len: u32,
+    unstuffed: Vec<bool>,
+}
+
+impl<'a> DestuffingReader<'a> {
+    fn new(inner: BitReader<'a>) -> Self {
+        DestuffingReader {
+            inner,
+            run_bit: None,
+            run_len: 0,
+            unstuffed: Vec::new(),
+        }
+    }
+
+    fn read(&mut self) -> Result<bool, ProtocolViolation> {
+        let b = self.inner.read()?;
+        if Some(b) == self.run_bit {
+            self.run_len += 1;
+        } else {
+            self.run_bit = Some(b);
+            self.run_len = 1;
+        }
+        if self.run_len > 5 {
+            return Err(ProtocolViolation::Stuff);
+        }
+        self.unstuffed.push(b);
+        if self.run_len == 5 {
+            // consume and validate the stuff bit
+            let s = self.inner.read()?;
+            if s == b {
+                return Err(ProtocolViolation::Stuff);
+            }
+            self.run_bit = Some(s);
+            self.run_len = 1;
+        }
+        Ok(b)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u32, ProtocolViolation> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.read()?);
+        }
+        Ok(v)
+    }
+
+    /// Destuffed bits consumed so far (the CRC input region).
+    fn unstuffed(&self) -> &[bool] {
+        &self.unstuffed
+    }
+
+    fn into_inner(self) -> BitReader<'a> {
+        self.inner
+    }
+}
+
+/// Decodes wire bits back into a frame, validating stuffing, CRC and the
+/// fixed-form delimiter bits.
+///
+/// # Errors
+/// * [`ProtocolViolation::Stuff`] — six equal consecutive bits in the
+///   stuffed region,
+/// * [`ProtocolViolation::Crc`] — CRC mismatch,
+/// * [`ProtocolViolation::Form`] — CRC/ACK delimiter or EOF not recessive,
+/// * [`ProtocolViolation::Truncated`] — stream too short.
+pub fn decode(bits: &[bool]) -> Result<CanFrame, ProtocolViolation> {
+    let mut r = DestuffingReader::new(BitReader::new(bits));
+
+    let sof = r.read()?;
+    if sof {
+        return Err(ProtocolViolation::Form); // SOF must be dominant
+    }
+    let base_id = r.read_bits(11)?;
+    let bit12 = r.read()?; // RTR (standard) or SRR (extended)
+    let ide = r.read()?;
+    let (id, remote) = if ide {
+        // extended: bit12 was SRR (must be recessive)
+        if !bit12 {
+            return Err(ProtocolViolation::Form);
+        }
+        let ext = r.read_bits(18)?;
+        let rtr = r.read()?;
+        let _r1 = r.read()?;
+        let _r0 = r.read()?;
+        let raw = (base_id << 18) | ext;
+        (
+            CanId::extended(raw).map_err(|_| ProtocolViolation::Form)?,
+            rtr,
+        )
+    } else {
+        let _r0 = r.read()?;
+        (
+            CanId::standard(base_id).map_err(|_| ProtocolViolation::Form)?,
+            bit12,
+        )
+    };
+    let dlc = r.read_bits(4)? as u8;
+    if dlc > 8 {
+        // ISO allows DLC 9..15 meaning 8 bytes; we reject for strictness in
+        // the simulator (all our encoders emit ≤ 8).
+        return Err(ProtocolViolation::Form);
+    }
+    let mut data = [0u8; 8];
+    if !remote {
+        for slot in data.iter_mut().take(dlc as usize) {
+            *slot = r.read_bits(8)? as u8;
+        }
+    }
+
+    // CRC is computed over everything consumed so far (destuffed).
+    let crc_region_len = r.unstuffed().len();
+    let received_crc = r.read_bits(15)? as u16;
+    let computed = crc15(&r.unstuffed()[..crc_region_len]);
+    if received_crc != computed {
+        return Err(ProtocolViolation::Crc);
+    }
+
+    // Fixed-form tail is read raw (no stuffing).
+    let mut raw = r.into_inner();
+    let crc_del = raw.read()?;
+    if !crc_del {
+        return Err(ProtocolViolation::Form);
+    }
+    let _ack_slot = raw.read()?; // either level is legal at the decoder
+    let ack_del = raw.read()?;
+    if !ack_del {
+        return Err(ProtocolViolation::Form);
+    }
+    for _ in 0..7 {
+        if !raw.read()? {
+            return Err(ProtocolViolation::Form); // EOF must be recessive
+        }
+    }
+
+    let frame = if remote {
+        CanFrame::remote(id, dlc).map_err(|_| ProtocolViolation::Form)?
+    } else {
+        CanFrame::data(id, &data[..dlc as usize]).map_err(|_| ProtocolViolation::Form)?
+    };
+    Ok(frame)
+}
+
+/// Returns whether the encoded frame's ACK slot is dominant (acknowledged).
+///
+/// # Errors
+/// [`ProtocolViolation`] if the bits do not decode as a frame.
+pub fn ack_seen(bits: &[bool]) -> Result<bool, ProtocolViolation> {
+    // Re-parse up to the ACK slot by decoding fully, then inspect position:
+    // simplest robust approach is to find the slot as (len - 9)th bit:
+    // ... ACK slot | ACK delim | EOF(7)  => 9 bits from the end.
+    if bits.len() < 10 {
+        return Err(ProtocolViolation::Truncated);
+    }
+    decode(bits)?;
+    Ok(!bits[bits.len() - 9])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ProtocolViolation as PV;
+
+    fn sid(v: u32) -> CanId {
+        CanId::standard(v).unwrap()
+    }
+    fn eid(v: u32) -> CanId {
+        CanId::extended(v).unwrap()
+    }
+
+    #[test]
+    fn round_trip_standard_data() {
+        for dlc in 0..=8usize {
+            let payload: Vec<u8> = (0..dlc as u8).map(|i| i.wrapping_mul(37)).collect();
+            let f = CanFrame::data(sid(0x2F1), &payload).unwrap();
+            let enc = encode(&f, true);
+            assert_eq!(decode(enc.bits()).unwrap(), f, "dlc={dlc}");
+        }
+    }
+
+    #[test]
+    fn round_trip_extended_data() {
+        let f = CanFrame::data(eid(0x1ABC_D123), &[0xFF, 0x00, 0xAA]).unwrap();
+        let enc = encode(&f, true);
+        assert_eq!(decode(enc.bits()).unwrap(), f);
+    }
+
+    #[test]
+    fn round_trip_remote_frames() {
+        let f = CanFrame::remote(sid(0x111), 5).unwrap();
+        assert_eq!(decode(encode(&f, true).bits()).unwrap(), f);
+        let fe = CanFrame::remote(eid(0x1555), 0).unwrap();
+        assert_eq!(decode(encode(&fe, true).bits()).unwrap(), fe);
+    }
+
+    #[test]
+    fn encoded_length_is_nominal_plus_stuffing() {
+        let f = CanFrame::data(sid(0x100), &[0u8; 8]).unwrap();
+        let enc = encode(&f, true);
+        // nominal_bits includes 3-bit IFS which encode() omits
+        let nominal_wire = f.nominal_bits() as usize - 3;
+        assert_eq!(enc.len(), nominal_wire + enc.stuff_bits());
+    }
+
+    #[test]
+    fn corrupted_crc_detected() {
+        let f = CanFrame::data(sid(0x345), &[1, 2, 3, 4]).unwrap();
+        let enc = encode(&f, true);
+        let mut bits = enc.bits().to_vec();
+        // Flip a data-region bit far from stuffing boundaries is hard to
+        // guarantee; instead flip and accept either Stuff or Crc — both model
+        // a detected corruption. At least one flip must yield Crc.
+        let mut saw_crc = false;
+        for i in 15..30 {
+            let mut b = bits.clone();
+            b[i] = !b[i];
+            match decode(&b) {
+                Err(PV::Crc) => saw_crc = true,
+                Err(_) => {}
+                Ok(decoded) => panic!("corruption at {i} undetected: {decoded}"),
+            }
+        }
+        assert!(saw_crc, "no flip produced a CRC error");
+        // untouched still decodes
+        bits[0] = false;
+        assert!(decode(&bits).is_ok());
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let f = CanFrame::data(sid(0x77), &[5; 2]).unwrap();
+        let enc = encode(&f, true);
+        for cut in [1usize, 10, 20, enc.len() - 1] {
+            let b = &enc.bits()[..cut];
+            assert!(
+                matches!(decode(b), Err(PV::Truncated) | Err(PV::Form)),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_sof_is_form_error() {
+        let f = CanFrame::data(sid(0x77), &[]).unwrap();
+        let mut bits = encode(&f, true).bits().to_vec();
+        bits[0] = true; // recessive SOF is illegal
+        assert!(matches!(decode(&bits), Err(PV::Form) | Err(PV::Stuff) | Err(PV::Crc)));
+    }
+
+    #[test]
+    fn eof_violation_is_form_error() {
+        let f = CanFrame::data(sid(0x77), &[1]).unwrap();
+        let enc = encode(&f, true);
+        let mut bits = enc.bits().to_vec();
+        let n = bits.len();
+        bits[n - 1] = false; // dominant bit inside EOF
+        assert_eq!(decode(&bits), Err(PV::Form));
+    }
+
+    #[test]
+    fn ack_slot_reflects_acknowledgement() {
+        let f = CanFrame::data(sid(0x30), &[9]).unwrap();
+        assert!(ack_seen(encode(&f, true).bits()).unwrap());
+        assert!(!ack_seen(encode(&f, false).bits()).unwrap());
+    }
+
+    #[test]
+    fn stuffing_present_for_pathological_payloads() {
+        // long runs of zeros force stuff bits
+        let f = CanFrame::data(sid(0x000), &[0u8; 8]).unwrap();
+        let enc = encode(&f, true);
+        assert!(enc.stuff_bits() > 0);
+        assert_eq!(decode(enc.bits()).unwrap(), f);
+    }
+
+    #[test]
+    fn distinct_frames_have_distinct_encodings() {
+        let a = encode(&CanFrame::data(sid(0x10), &[1]).unwrap(), true);
+        let b = encode(&CanFrame::data(sid(0x10), &[2]).unwrap(), true);
+        assert_ne!(a.bits(), b.bits());
+    }
+}

@@ -1,0 +1,274 @@
+//! CAN gateway between two bus segments.
+//!
+//! Real vehicles partition their networks (powertrain vs comfort vs
+//! infotainment) behind a gateway that forwards only whitelisted traffic —
+//! the paper's guideline *"CAN bus gateway: limit components with CAN bus
+//! access"*. [`Gateway`] connects two [`CanBus`] segments through a pair of
+//! dedicated gateway nodes and a rule table.
+
+use crate::bus::{CanBus, NodeHandle};
+use crate::error::CanError;
+use crate::filter::AcceptanceFilter;
+use crate::frame::CanFrame;
+use crate::node::CanNode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which side of the gateway a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// The first segment (e.g. powertrain).
+    A,
+    /// The second segment (e.g. infotainment/telematics).
+    B,
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::A => f.write_str("A"),
+            Segment::B => f.write_str("B"),
+        }
+    }
+}
+
+/// A forwarding rule: frames arriving on `from` whose identifier matches
+/// `filter` are forwarded to the opposite segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardRule {
+    /// Source segment.
+    pub from: Segment,
+    /// Identifier filter for forwarded frames.
+    pub filter: AcceptanceFilter,
+}
+
+/// A two-segment CAN gateway with a whitelist rule table.
+///
+/// Construction attaches one gateway node to each bus; [`Gateway::pump`]
+/// moves matching frames across. The default (no rules) forwards nothing —
+/// segmentation is deny-by-default.
+#[derive(Debug)]
+pub struct Gateway {
+    node_a: NodeHandle,
+    node_b: NodeHandle,
+    rules: Vec<ForwardRule>,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl Gateway {
+    /// Creates a gateway, attaching its endpoint nodes to both buses.
+    pub fn bridge(bus_a: &mut CanBus, bus_b: &mut CanBus, name: &str) -> Self {
+        let node_a = bus_a.attach(CanNode::new(format!("{name}.a")));
+        let node_b = bus_b.attach(CanNode::new(format!("{name}.b")));
+        Gateway {
+            node_a,
+            node_b,
+            rules: Vec::new(),
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Adds a forwarding rule.
+    pub fn allow(&mut self, rule: ForwardRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Removes all rules (back to forward-nothing).
+    pub fn clear_rules(&mut self) {
+        self.rules.clear();
+    }
+
+    /// The gateway's node handle on segment A.
+    pub fn endpoint_a(&self) -> NodeHandle {
+        self.node_a
+    }
+
+    /// The gateway's node handle on segment B.
+    pub fn endpoint_b(&self) -> NodeHandle {
+        self.node_b
+    }
+
+    /// Frames forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Frames received by an endpoint but not forwarded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn matches(&self, from: Segment, frame: &CanFrame) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.from == from && r.filter.accepts(frame.id()))
+    }
+
+    /// Drains both endpoints' RX queues, forwarding matching frames to the
+    /// opposite segment. Call between bus runs. Returns frames forwarded.
+    ///
+    /// # Errors
+    /// [`CanError::UnknownNode`] if an endpoint handle is stale (a gateway
+    /// used with buses it was not bridged to).
+    pub fn pump(&mut self, bus_a: &mut CanBus, bus_b: &mut CanBus) -> Result<u64, CanError> {
+        let mut moved = 0;
+
+        let mut from_a = Vec::new();
+        {
+            let node = bus_a
+                .node_mut(self.node_a)
+                .ok_or(CanError::UnknownNode { handle: self.node_a.index() })?;
+            while let Some(f) = node.receive() {
+                from_a.push(f);
+            }
+        }
+        for f in from_a {
+            if self.matches(Segment::A, &f) {
+                bus_b.send_from(self.node_b, f)?;
+                self.forwarded += 1;
+                moved += 1;
+            } else {
+                self.dropped += 1;
+            }
+        }
+
+        let mut from_b = Vec::new();
+        {
+            let node = bus_b
+                .node_mut(self.node_b)
+                .ok_or(CanError::UnknownNode { handle: self.node_b.index() })?;
+            while let Some(f) = node.receive() {
+                from_b.push(f);
+            }
+        }
+        for f in from_b {
+            if self.matches(Segment::B, &f) {
+                bus_a.send_from(self.node_a, f)?;
+                self.forwarded += 1;
+                moved += 1;
+            } else {
+                self.dropped += 1;
+            }
+        }
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::CanId;
+
+    fn frame(id: u32) -> CanFrame {
+        CanFrame::data(CanId::standard(id).unwrap(), &[7]).unwrap()
+    }
+
+    fn setup() -> (CanBus, CanBus, Gateway, NodeHandle, NodeHandle) {
+        let mut bus_a = CanBus::new(500_000);
+        let mut bus_b = CanBus::new(500_000);
+        let sender = bus_a.attach(CanNode::new("sender"));
+        let receiver = bus_b.attach(CanNode::new("receiver"));
+        let gw = Gateway::bridge(&mut bus_a, &mut bus_b, "gw");
+        (bus_a, bus_b, gw, sender, receiver)
+    }
+
+    #[test]
+    fn default_gateway_forwards_nothing() {
+        let (mut a, mut b, mut gw, sender, receiver) = setup();
+        a.send_from(sender, frame(0x100)).unwrap();
+        a.run_until_idle();
+        gw.pump(&mut a, &mut b).unwrap();
+        b.run_until_idle();
+        assert!(b.node_mut(receiver).unwrap().receive().is_none());
+        assert_eq!(gw.dropped(), 1);
+        assert_eq!(gw.forwarded(), 0);
+    }
+
+    #[test]
+    fn allowed_frames_cross() {
+        let (mut a, mut b, mut gw, sender, receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::exact(CanId::standard(0x100).unwrap()),
+        });
+        a.send_from(sender, frame(0x100)).unwrap();
+        a.send_from(sender, frame(0x200)).unwrap();
+        a.run_until_idle();
+        gw.pump(&mut a, &mut b).unwrap();
+        b.run_until_idle();
+        let got = b.node_mut(receiver).unwrap().receive().unwrap();
+        assert_eq!(got.id().raw(), 0x100);
+        assert!(b.node_mut(receiver).unwrap().receive().is_none());
+        assert_eq!(gw.forwarded(), 1);
+        assert_eq!(gw.dropped(), 1);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let (mut a, mut b, mut gw, _sender, receiver) = setup();
+        // rule allows A→B only
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::any_standard(),
+        });
+        // traffic from B must not reach A
+        b.send_from(receiver, frame(0x300)).unwrap();
+        b.run_until_idle();
+        gw.pump(&mut a, &mut b).unwrap();
+        a.run_until_idle();
+        assert_eq!(gw.forwarded(), 0);
+        assert_eq!(gw.dropped(), 1);
+    }
+
+    #[test]
+    fn bidirectional_rules() {
+        let (mut a, mut b, mut gw, sender, receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::any_standard(),
+        })
+        .allow(ForwardRule {
+            from: Segment::B,
+            filter: AcceptanceFilter::any_standard(),
+        });
+        a.send_from(sender, frame(0x1)).unwrap();
+        b.send_from(receiver, frame(0x2)).unwrap();
+        a.run_until_idle();
+        b.run_until_idle();
+        gw.pump(&mut a, &mut b).unwrap();
+        a.run_until_idle();
+        b.run_until_idle();
+        assert_eq!(gw.forwarded(), 2);
+        assert_eq!(
+            b.node_mut(receiver).unwrap().receive().unwrap().id().raw(),
+            0x1
+        );
+        assert_eq!(
+            a.node_mut(sender).unwrap().receive().unwrap().id().raw(),
+            0x2
+        );
+    }
+
+    #[test]
+    fn clear_rules_restores_isolation() {
+        let (mut a, mut b, mut gw, sender, _receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::any_standard(),
+        });
+        gw.clear_rules();
+        a.send_from(sender, frame(0x1)).unwrap();
+        a.run_until_idle();
+        gw.pump(&mut a, &mut b).unwrap();
+        assert_eq!(gw.forwarded(), 0);
+    }
+
+    #[test]
+    fn segment_display() {
+        assert_eq!(Segment::A.to_string(), "A");
+        assert_eq!(Segment::B.to_string(), "B");
+    }
+}

@@ -1,0 +1,417 @@
+//! CAN nodes: controller + firmware + optional hardware interposer.
+//!
+//! A [`CanNode`] models the full node of Fig. 3 — transceiver (implicit in
+//! the bus), [`CanController`] and processor. The processor runs
+//! [`Firmware`], a trait the case-study components implement; *compromising*
+//! a node is modelled by swapping its firmware for a malicious one
+//! ([`CanNode::replace_firmware`]), which is exactly the attack class the
+//! paper's hardware policy engine defends against.
+//!
+//! The [`Interposer`] hook is the seam where `polsec-hpe` installs the
+//! hardware policy engine of Fig. 4: it sees every frame *between* the
+//! controller and the bus, on both the read and write paths, and —
+//! critically — firmware has no API to reach it.
+
+use crate::controller::CanController;
+use crate::error::CanError;
+use crate::filter::FilterBank;
+use crate::frame::CanFrame;
+use polsec_sim::SimTime;
+use std::fmt;
+
+/// Actions firmware may request from its node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FirmwareAction {
+    /// Transmit a frame.
+    Send(CanFrame),
+    /// Reconfigure the controller's software acceptance filters.
+    SetFilters(FilterBank),
+    /// Wipe the software acceptance filters (accept-all) — the classic
+    /// firmware-compromise move.
+    ClearFilters,
+    /// Emit a log line into the node's log buffer.
+    Log(String),
+}
+
+/// Node application logic ("the processor" of Fig. 3).
+///
+/// Implementations receive accepted frames and periodic ticks and answer
+/// with [`FirmwareAction`]s.
+pub trait Firmware: Send {
+    /// Called for every frame that passed filtering and interposition.
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction>;
+
+    /// Called on every simulation tick (periodic work: sensor broadcasts,
+    /// heartbeats). Default: nothing.
+    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+        Vec::new()
+    }
+
+    /// A short name for traces.
+    fn name(&self) -> &str {
+        "firmware"
+    }
+}
+
+/// A no-op firmware: receives silently, never transmits.
+#[derive(Debug, Clone, Default)]
+pub struct NullFirmware;
+
+impl Firmware for NullFirmware {
+    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> Vec<FirmwareAction> {
+        Vec::new()
+    }
+    fn name(&self) -> &str {
+        "null"
+    }
+}
+
+/// The verdict an interposer returns for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterposeVerdict {
+    /// Let the frame pass.
+    Grant,
+    /// Silently drop the frame.
+    Block,
+}
+
+/// A hardware-level frame gate between controller and bus (both directions).
+///
+/// `polsec-hpe` implements this with the approved-list + decision-block
+/// architecture of Fig. 4. Firmware cannot obtain a reference to the
+/// interposer through any [`CanNode`] API — that is the "transparent to the
+/// system software" property of the paper.
+pub trait Interposer: Send {
+    /// Gate for frames arriving from the bus (the read path).
+    fn on_ingress(&mut self, now: SimTime, frame: &CanFrame) -> InterposeVerdict;
+    /// Gate for frames leaving towards the bus (the write path).
+    fn on_egress(&mut self, now: SimTime, frame: &CanFrame) -> InterposeVerdict;
+    /// A short name for traces.
+    fn label(&self) -> &str {
+        "interposer"
+    }
+}
+
+/// A complete CAN node.
+pub struct CanNode {
+    name: String,
+    controller: CanController,
+    firmware: Box<dyn Firmware>,
+    interposer: Option<Box<dyn Interposer>>,
+    log: Vec<String>,
+    ingress_blocked: u64,
+    egress_blocked: u64,
+}
+
+impl fmt::Debug for CanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CanNode")
+            .field("name", &self.name)
+            .field("firmware", &self.firmware.name())
+            .field("interposed", &self.interposer.is_some())
+            .field("tx_pending", &self.controller.tx_pending())
+            .field("rx_pending", &self.controller.rx_pending())
+            .finish()
+    }
+}
+
+impl CanNode {
+    /// Creates a node with [`NullFirmware`] and no interposer.
+    pub fn new(name: impl Into<String>) -> Self {
+        CanNode {
+            name: name.into(),
+            controller: CanController::new(),
+            firmware: Box::new(NullFirmware),
+            interposer: None,
+            log: Vec::new(),
+            ingress_blocked: 0,
+            egress_blocked: 0,
+        }
+    }
+
+    /// Creates a node running the given firmware.
+    pub fn with_firmware(name: impl Into<String>, firmware: Box<dyn Firmware>) -> Self {
+        let mut n = CanNode::new(name);
+        n.firmware = firmware;
+        n
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The controller (read access).
+    pub fn controller(&self) -> &CanController {
+        &self.controller
+    }
+
+    /// Mutable controller access (used by the bus and by tests).
+    pub fn controller_mut(&mut self) -> &mut CanController {
+        &mut self.controller
+    }
+
+    /// Installs a hardware interposer (e.g. the HPE). Replaces any previous
+    /// one. There is deliberately **no getter** — firmware-side code cannot
+    /// reach the interposer.
+    pub fn install_interposer(&mut self, ip: Box<dyn Interposer>) {
+        self.interposer = Some(ip);
+    }
+
+    /// Removes the interposer (factory reset; not reachable from firmware).
+    pub fn remove_interposer(&mut self) {
+        self.interposer = None;
+    }
+
+    /// Whether a hardware interposer is installed.
+    pub fn is_interposed(&self) -> bool {
+        self.interposer.is_some()
+    }
+
+    /// Swaps the node's firmware — the model of a *firmware compromise* (or
+    /// a legitimate update). Returns the previous firmware.
+    pub fn replace_firmware(&mut self, firmware: Box<dyn Firmware>) -> Box<dyn Firmware> {
+        std::mem::replace(&mut self.firmware, firmware)
+    }
+
+    /// The current firmware's name.
+    pub fn firmware_name(&self) -> &str {
+        self.firmware.name()
+    }
+
+    /// Frames blocked by the interposer on the read path.
+    pub fn ingress_blocked(&self) -> u64 {
+        self.ingress_blocked
+    }
+
+    /// Frames blocked by the interposer on the write path.
+    pub fn egress_blocked(&self) -> u64 {
+        self.egress_blocked
+    }
+
+    /// Application log lines emitted via [`FirmwareAction::Log`].
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Queues a frame for transmission from application level.
+    ///
+    /// The frame still passes the egress interposer *when the bus takes it*,
+    /// not here — matching hardware, where the gate sits at the pins.
+    /// Queue-full and bus-off errors are surfaced in the node log rather
+    /// than returned, since firmware fire-and-forget sends have no caller to
+    /// propagate to.
+    pub fn send(&mut self, frame: CanFrame) {
+        if let Err(e) = self.controller.enqueue_tx(frame) {
+            self.log.push(format!("tx dropped: {e}"));
+        }
+    }
+
+    /// Pops one received frame from the controller RX queue (application
+    /// read).
+    pub fn receive(&mut self) -> Option<CanFrame> {
+        self.controller.pop_rx()
+    }
+
+    /// Bus-side: takes the next frame to transmit, applying the egress
+    /// interposer. Blocked frames are consumed and counted, and the next
+    /// candidate is offered, so a blocked frame cannot wedge the queue.
+    pub(crate) fn take_tx(&mut self, now: SimTime) -> Option<CanFrame> {
+        loop {
+            let frame = self.controller.pop_tx()?;
+            match &mut self.interposer {
+                Some(ip) => match ip.on_egress(now, &frame) {
+                    InterposeVerdict::Grant => return Some(frame),
+                    InterposeVerdict::Block => {
+                        self.egress_blocked += 1;
+                        continue;
+                    }
+                },
+                None => return Some(frame),
+            }
+        }
+    }
+
+    /// Bus-side: offers a frame arriving from the bus, applying the ingress
+    /// interposer, the controller filters, and then firmware. Returns the
+    /// firmware's actions (already applied to the controller where they are
+    /// filter changes / sends).
+    pub(crate) fn deliver(&mut self, now: SimTime, frame: &CanFrame) -> bool {
+        if let Some(ip) = &mut self.interposer {
+            if ip.on_ingress(now, frame) == InterposeVerdict::Block {
+                self.ingress_blocked += 1;
+                return false;
+            }
+        }
+        if !self.controller.offer_rx(frame.clone()) {
+            return false;
+        }
+        // Firmware consumes the frame immediately in this model (the RX
+        // queue also retains it for application-level receive()).
+        let actions = self.firmware.on_frame(now, frame);
+        self.apply_actions(actions);
+        true
+    }
+
+    /// Runs one firmware tick.
+    pub fn tick(&mut self, now: SimTime) {
+        let actions = self.firmware.on_tick(now);
+        self.apply_actions(actions);
+    }
+
+    fn apply_actions(&mut self, actions: Vec<FirmwareAction>) {
+        for a in actions {
+            match a {
+                FirmwareAction::Send(f) => self.send(f),
+                FirmwareAction::SetFilters(bank) => *self.controller.filters_mut() = bank,
+                FirmwareAction::ClearFilters => self.controller.filters_mut().clear(),
+                FirmwareAction::Log(line) => self.log.push(line),
+            }
+        }
+    }
+}
+
+/// Result of a node-level send attempt, surfaced by the bus API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The frame was queued.
+    Queued,
+    /// The frame was rejected.
+    Rejected(CanError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::CanId;
+
+    fn frame(id: u32) -> CanFrame {
+        CanFrame::data(CanId::standard(id).unwrap(), &[1]).unwrap()
+    }
+
+    /// Firmware that echoes every received frame back with id+1.
+    struct Echo;
+    impl Firmware for Echo {
+        fn on_frame(&mut self, _now: SimTime, f: &CanFrame) -> Vec<FirmwareAction> {
+            let next = CanId::standard((f.id().raw() + 1) & 0x7FF).unwrap();
+            vec![FirmwareAction::Send(f.with_id(next))]
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// Interposer blocking a fixed id on both paths.
+    struct BlockId(u32);
+    impl Interposer for BlockId {
+        fn on_ingress(&mut self, _n: SimTime, f: &CanFrame) -> InterposeVerdict {
+            if f.id().raw() == self.0 {
+                InterposeVerdict::Block
+            } else {
+                InterposeVerdict::Grant
+            }
+        }
+        fn on_egress(&mut self, _n: SimTime, f: &CanFrame) -> InterposeVerdict {
+            if f.id().raw() == self.0 {
+                InterposeVerdict::Block
+            } else {
+                InterposeVerdict::Grant
+            }
+        }
+    }
+
+    #[test]
+    fn send_and_take() {
+        let mut n = CanNode::new("a");
+        n.send(frame(0x10));
+        assert_eq!(n.take_tx(SimTime::ZERO), Some(frame(0x10)));
+        assert_eq!(n.take_tx(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn deliver_reaches_firmware_and_rx_queue() {
+        let mut n = CanNode::with_firmware("a", Box::new(Echo));
+        assert!(n.deliver(SimTime::ZERO, &frame(0x20)));
+        // firmware echoed
+        assert_eq!(n.take_tx(SimTime::ZERO).unwrap().id().raw(), 0x21);
+        // application can also read the original
+        assert_eq!(n.receive(), Some(frame(0x20)));
+    }
+
+    #[test]
+    fn egress_interposer_blocks_and_counts() {
+        let mut n = CanNode::new("a");
+        n.install_interposer(Box::new(BlockId(0x10)));
+        n.send(frame(0x10));
+        n.send(frame(0x11));
+        // 0x10 blocked, 0x11 passes
+        assert_eq!(n.take_tx(SimTime::ZERO), Some(frame(0x11)));
+        assert_eq!(n.egress_blocked(), 1);
+    }
+
+    #[test]
+    fn ingress_interposer_blocks_before_firmware() {
+        let mut n = CanNode::with_firmware("a", Box::new(Echo));
+        n.install_interposer(Box::new(BlockId(0x30)));
+        assert!(!n.deliver(SimTime::ZERO, &frame(0x30)));
+        assert_eq!(n.ingress_blocked(), 1);
+        assert!(n.receive().is_none(), "blocked frame must not reach rx");
+        assert!(n.take_tx(SimTime::ZERO).is_none(), "firmware must not see it");
+    }
+
+    #[test]
+    fn firmware_swap_models_compromise() {
+        struct Flood;
+        impl Firmware for Flood {
+            fn on_frame(&mut self, _n: SimTime, _f: &CanFrame) -> Vec<FirmwareAction> {
+                Vec::new()
+            }
+            fn on_tick(&mut self, _n: SimTime) -> Vec<FirmwareAction> {
+                vec![FirmwareAction::Send(frame(0x666 & 0x7FF)), FirmwareAction::ClearFilters]
+            }
+            fn name(&self) -> &str {
+                "malware"
+            }
+        }
+        let mut n = CanNode::with_firmware("a", Box::new(Echo));
+        assert_eq!(n.firmware_name(), "echo");
+        n.replace_firmware(Box::new(Flood));
+        assert_eq!(n.firmware_name(), "malware");
+        n.tick(SimTime::ZERO);
+        assert!(n.take_tx(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn malicious_clear_filters_cannot_touch_interposer() {
+        // firmware wipes software filters, but the interposer still blocks
+        let mut n = CanNode::new("a");
+        n.install_interposer(Box::new(BlockId(0x40)));
+        n.controller_mut()
+            .filters_mut()
+            .add(crate::filter::AcceptanceFilter::exact(CanId::standard(0x1).unwrap()));
+        n.apply_actions(vec![FirmwareAction::ClearFilters]);
+        assert!(n.controller().filters().is_empty(), "sw filters wiped");
+        assert!(!n.deliver(SimTime::ZERO, &frame(0x40)), "hw gate holds");
+        assert!(n.is_interposed());
+    }
+
+    #[test]
+    fn log_collects_firmware_lines_and_tx_drops() {
+        let mut n = CanNode::new("a");
+        n.apply_actions(vec![FirmwareAction::Log("hello".into())]);
+        assert_eq!(n.log(), &["hello".to_string()]);
+        // overflow the tx queue to force a logged drop
+        for i in 0..200 {
+            n.send(frame(i & 0x7FF));
+        }
+        assert!(n.log().iter().any(|l| l.contains("tx dropped")));
+    }
+
+    #[test]
+    fn debug_does_not_expose_internals() {
+        let n = CanNode::new("ecu");
+        let dbg = format!("{n:?}");
+        assert!(dbg.contains("ecu"));
+        assert!(dbg.contains("null"));
+    }
+}

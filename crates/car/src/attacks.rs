@@ -1,0 +1,446 @@
+//! Executable attack scenarios — one per Table I row.
+//!
+//! Each attack follows the paper's two attack classes: **inside** attacks
+//! launched from a compromised legitimate node (firmware replacement, which
+//! also wipes the node's software filters — the paper's premise that
+//! software filters "may be vulnerable to software layer attacks"), and
+//! **outside** attacks launched from a malicious node introduced onto the
+//! bus. Spoofing attacks against a victim whose software filter would drop
+//! the frame additionally perform the software-layer filter wipe on the
+//! victim, modelling the same premise on the receive side.
+//!
+//! The honest negative results are kept: value-spoofing from a compromised
+//! *legitimate* sender of the same identifier (rows 2 and, partially, 6/12)
+//! defeats pure ID filtering and falls to behavioural policies or nothing —
+//! EXPERIMENTS.md discusses this gap.
+
+use crate::builder::Car;
+use crate::components::infotainment::mac_permits_can_send;
+use crate::components::lock;
+use crate::messages::{self, command_frame, Origin};
+use crate::modes::CarMode;
+use crate::scenario::AttackOutcome;
+use crate::threats::{Table1Row, TABLE1};
+use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_sim::SimTime;
+
+/// A firmware implant that clears the node's software filters and then
+/// transmits a fixed set of frames on every tick.
+pub struct SpoofFirmware {
+    frames: Vec<CanFrame>,
+    wiped: bool,
+}
+
+impl SpoofFirmware {
+    /// Creates an implant sending `frames` each tick.
+    pub fn new(frames: Vec<CanFrame>) -> Self {
+        SpoofFirmware { frames, wiped: false }
+    }
+}
+
+impl Firmware for SpoofFirmware {
+    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> Vec<FirmwareAction> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+        let mut actions = Vec::new();
+        if !self.wiped {
+            actions.push(FirmwareAction::ClearFilters);
+            self.wiped = true;
+        }
+        actions.extend(self.frames.iter().cloned().map(FirmwareAction::Send));
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "spoof-implant"
+    }
+}
+
+/// The sixteen attacks, one per Table I row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackId {
+    /// Row 1: spoofed ECU disable from a compromised door-lock node.
+    SpoofEcuDisable,
+    /// Row 2: spoofed crash report from a compromised sensor cluster.
+    SpoofEcuViaSensors,
+    /// Row 3: disable remote tracking after theft.
+    DisableTracking,
+    /// Row 4: fail-safe protection override to reactivate the vehicle.
+    FailsafeOverride,
+    /// Row 5: EPS deactivation through a compromised CAN node.
+    EpsDeactivate,
+    /// Row 6: engine deactivation through a compromised sensor.
+    EngineSensorSpoof,
+    /// Row 7: critical component modification during operation.
+    ModemModification,
+    /// Row 8: privacy exfiltration by modified radio firmware.
+    RadioPrivacyExfil,
+    /// Row 9: modem disablement preventing fail-safe comms (outside).
+    ModemDisableOutside,
+    /// Row 10: modem disablement preventing fail-safe comms (inside).
+    ModemDisableInside,
+    /// Row 11: infotainment exploit escalating to vehicle control.
+    InfotainmentEscalation,
+    /// Row 12: falsified car status values on the display.
+    StatusSpoof,
+    /// Row 13: remote unlock while in motion.
+    UnlockInMotion,
+    /// Row 14: lock command during an accident.
+    LockDuringAccident,
+    /// Row 15: false fail-safe trigger to unlock a parked vehicle.
+    FalseFailsafeTrigger,
+    /// Row 16: alarm and locking disablement to allow theft.
+    AlarmDisable,
+}
+
+impl AttackId {
+    /// All attacks in Table I row order.
+    pub const ALL: [AttackId; 16] = [
+        AttackId::SpoofEcuDisable,
+        AttackId::SpoofEcuViaSensors,
+        AttackId::DisableTracking,
+        AttackId::FailsafeOverride,
+        AttackId::EpsDeactivate,
+        AttackId::EngineSensorSpoof,
+        AttackId::ModemModification,
+        AttackId::RadioPrivacyExfil,
+        AttackId::ModemDisableOutside,
+        AttackId::ModemDisableInside,
+        AttackId::InfotainmentEscalation,
+        AttackId::StatusSpoof,
+        AttackId::UnlockInMotion,
+        AttackId::LockDuringAccident,
+        AttackId::FalseFailsafeTrigger,
+        AttackId::AlarmDisable,
+    ];
+
+    /// The Table I row this attack realises.
+    pub fn table1_row(self) -> &'static Table1Row {
+        let idx = AttackId::ALL
+            .iter()
+            .position(|a| *a == self)
+            .expect("attack is in ALL");
+        &TABLE1[idx]
+    }
+
+    /// The threat id (`t1`..`t16`).
+    pub fn threat_id(self) -> &'static str {
+        self.table1_row().id
+    }
+
+    /// The car mode the attack naturally runs in (first reconstructed mode
+    /// of its row).
+    pub fn natural_mode(self) -> CarMode {
+        self.table1_row().modes.first().copied().unwrap_or(CarMode::Normal)
+    }
+
+    /// Executes the attack against a built car and judges the outcome.
+    pub fn execute(self, car: &mut Car) -> AttackOutcome {
+        match self {
+            AttackId::SpoofEcuDisable => {
+                car.set_moving(true);
+                let spoof = cmd(messages::ECU_COMMAND, 0x02, Origin::SafetyCritical);
+                car.compromise("door-locks", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.wipe_software_filters("ev-ecu");
+                car.step(3);
+                succeeded_if(!lock(&car.states().ecu).propulsion_enabled)
+            }
+            AttackId::SpoofEcuViaSensors => {
+                car.set_moving(true);
+                let crash = raw(messages::SENSOR_CRASH, &[1]);
+                car.compromise("sensors", Box::new(SpoofFirmware::new(vec![crash])));
+                car.step(3);
+                succeeded_if(!lock(&car.states().ecu).propulsion_enabled)
+            }
+            AttackId::DisableTracking => {
+                car.set_stolen(true);
+                car.attach_attacker("thief-dongle");
+                car.send_as(
+                    "thief-dongle",
+                    cmd(messages::TELEMATICS_CMD, 0x02, Origin::Telematics),
+                );
+                car.step(3);
+                succeeded_if(!lock(&car.states().telematics).tracking_enabled)
+            }
+            AttackId::FailsafeOverride => {
+                car.set_mode(CarMode::FailSafe);
+                car.set_crash(true);
+                lock(&car.states().ecu).propulsion_enabled = false; // vehicle deactivated
+                car.attach_attacker("rogue-basestation");
+                car.send_as(
+                    "rogue-basestation",
+                    cmd(messages::TELEMATICS_CMD, 0x03, Origin::Telematics),
+                );
+                car.step(3);
+                succeeded_if(lock(&car.states().ecu).propulsion_enabled)
+            }
+            AttackId::EpsDeactivate => {
+                car.set_moving(true);
+                let spoof = cmd(messages::EPS_COMMAND, 0x02, Origin::Diagnostics);
+                car.compromise("infotainment", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.wipe_software_filters("eps");
+                car.step(3);
+                succeeded_if(!lock(&car.states().eps).assist_enabled)
+            }
+            AttackId::EngineSensorSpoof => {
+                car.set_moving(true);
+                let spoof = raw(messages::SENSOR_TEMP, &[200]);
+                car.compromise("sensors", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.step(3);
+                succeeded_if(!lock(&car.states().engine).running)
+            }
+            AttackId::ModemModification => {
+                let spoof = cmd(messages::MODEM_CONTROL, 0x00, Origin::Diagnostics);
+                car.compromise("ev-ecu", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.wipe_software_filters("telematics");
+                car.step(3);
+                succeeded_if(!lock(&car.states().telematics).modem_enabled)
+            }
+            AttackId::RadioPrivacyExfil => {
+                // modified radio firmware floods tracking uplinks
+                let exfil: Vec<CanFrame> =
+                    (0..20).map(|i| raw(messages::TELEMATICS_TRACK, &[0xEE, i])).collect();
+                car.compromise("telematics", Box::new(SpoofFirmware::new(exfil)));
+                car.step(5);
+                let sent = car
+                    .bus()
+                    .trace()
+                    .with_prefix("bus.tx")
+                    .filter(|r| r.detail.contains("0x300"))
+                    .count();
+                if car.app().is_some() {
+                    // the monitoring side of the software policy notices the
+                    // flood (rate >> the legitimate 1 report/tick)
+                    if sent > 20 {
+                        return AttackOutcome::Detected;
+                    }
+                }
+                succeeded_if(sent > 20)
+            }
+            AttackId::ModemDisableOutside => {
+                car.set_mode(CarMode::FailSafe);
+                car.attach_attacker("obd-dongle");
+                car.wipe_software_filters("telematics");
+                car.send_as(
+                    "obd-dongle",
+                    cmd(messages::MODEM_CONTROL, 0x00, Origin::Telematics),
+                );
+                car.step(3);
+                succeeded_if(!lock(&car.states().telematics).modem_enabled)
+            }
+            AttackId::ModemDisableInside => {
+                car.set_mode(CarMode::FailSafe);
+                let spoof = cmd(messages::MODEM_CONTROL, 0x00, Origin::SafetyCritical);
+                car.compromise("sensors", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.wipe_software_filters("telematics");
+                car.step(3);
+                succeeded_if(!lock(&car.states().telematics).modem_enabled)
+            }
+            AttackId::InfotainmentEscalation => {
+                // the exploit payload runs as a media app on the head unit;
+                // the MAC gate decides whether it ever reaches the bus
+                if !mac_permits_can_send(&car.mac().cloned(), "mediaplayer_t") {
+                    lock(&car.states().infotainment).mac_denials += 1;
+                    return AttackOutcome::Blocked;
+                }
+                let spoof = cmd(messages::ECU_COMMAND, 0x02, Origin::Diagnostics);
+                car.compromise("infotainment", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.wipe_software_filters("ev-ecu");
+                car.step(3);
+                succeeded_if(!lock(&car.states().ecu).propulsion_enabled)
+            }
+            AttackId::StatusSpoof => {
+                car.set_moving(true);
+                car.step(2); // establish a plausible displayed speed
+                let spoof = raw(messages::SENSOR_WHEEL_SPEED, &[250]);
+                car.compromise("sensors", Box::new(SpoofFirmware::new(vec![spoof])));
+                car.step(3);
+                succeeded_if(lock(&car.states().infotainment).displayed_speed == 250)
+            }
+            AttackId::UnlockInMotion => {
+                car.set_moving(true);
+                car.attach_attacker("relay-attacker");
+                car.send_as(
+                    "relay-attacker",
+                    cmd(messages::DOOR_LOCK_COMMAND, 0x02, Origin::Telematics),
+                );
+                car.step(3);
+                succeeded_if(!lock(&car.states().door_locks).locked)
+            }
+            AttackId::LockDuringAccident => {
+                car.set_mode(CarMode::FailSafe);
+                car.set_crash(true);
+                lock(&car.states().door_locks).locked = false; // crash released them
+                car.attach_attacker("malicious-node");
+                car.send_as(
+                    "malicious-node",
+                    cmd(messages::DOOR_LOCK_COMMAND, 0x01, Origin::Telematics),
+                );
+                car.step(3);
+                succeeded_if(lock(&car.states().door_locks).locked)
+            }
+            AttackId::FalseFailsafeTrigger => {
+                car.set_moving(false); // parked, locked, alarmed
+                car.attach_attacker("thief-node");
+                car.send_as("thief-node", raw(messages::SENSOR_CRASH, &[1]));
+                car.step(3);
+                succeeded_if(!lock(&car.states().door_locks).locked)
+            }
+            AttackId::AlarmDisable => {
+                car.set_moving(false);
+                car.attach_attacker("thief-node");
+                car.wipe_software_filters("safety-critical");
+                car.send_as(
+                    "thief-node",
+                    cmd(messages::ALARM_CONTROL, 0x00, Origin::Infotainment),
+                );
+                car.step(3);
+                succeeded_if(!lock(&car.states().safety).alarm_armed)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AttackId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.threat_id(), self.table1_row().description)
+    }
+}
+
+fn succeeded_if(condition: bool) -> AttackOutcome {
+    if condition {
+        AttackOutcome::Succeeded
+    } else {
+        AttackOutcome::Blocked
+    }
+}
+
+fn cmd(id: u16, command: u8, origin: Origin) -> CanFrame {
+    command_frame(id, command, origin, &[]).expect("attack frames are well-formed")
+}
+
+fn raw(id: u16, payload: &[u8]) -> CanFrame {
+    CanFrame::data(CanId::Standard(id), payload).expect("attack frames are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CarBuilder, EnforcementConfig};
+
+    fn run(attack: AttackId, config: EnforcementConfig) -> AttackOutcome {
+        let mut car = CarBuilder::new().enforcement(config).build();
+        car.set_mode(attack.natural_mode());
+        attack.execute(&mut car)
+    }
+
+    #[test]
+    fn every_attack_succeeds_against_the_unprotected_car() {
+        for attack in AttackId::ALL {
+            let outcome = run(attack, EnforcementConfig::none());
+            assert_eq!(
+                outcome,
+                AttackOutcome::Succeeded,
+                "{attack} should succeed with no enforcement"
+            );
+        }
+    }
+
+    #[test]
+    fn hpe_blocks_unauthorized_id_attacks() {
+        for attack in [
+            AttackId::SpoofEcuDisable,
+            AttackId::FailsafeOverride,
+            AttackId::EpsDeactivate,
+            AttackId::ModemModification,
+            AttackId::ModemDisableOutside,
+            AttackId::ModemDisableInside,
+            AttackId::InfotainmentEscalation,
+            AttackId::AlarmDisable,
+        ] {
+            let outcome = run(attack, EnforcementConfig::hpe_only());
+            assert_eq!(outcome, AttackOutcome::Blocked, "{attack} should be blocked by hpe");
+        }
+    }
+
+    #[test]
+    fn app_policy_blocks_command_and_situational_attacks() {
+        for attack in [
+            AttackId::SpoofEcuDisable,
+            AttackId::DisableTracking,
+            AttackId::FailsafeOverride,
+            AttackId::EpsDeactivate,
+            AttackId::EngineSensorSpoof,
+            AttackId::ModemModification,
+            AttackId::StatusSpoof,
+            AttackId::UnlockInMotion,
+            AttackId::LockDuringAccident,
+            AttackId::FalseFailsafeTrigger,
+            AttackId::AlarmDisable,
+        ] {
+            let outcome = run(attack, EnforcementConfig::app_only());
+            assert_eq!(
+                outcome,
+                AttackOutcome::Blocked,
+                "{attack} should be blocked by the application policy"
+            );
+        }
+    }
+
+    #[test]
+    fn value_spoof_from_legitimate_sender_defeats_id_filtering() {
+        // the documented gap: row 2's crash-report spoof from the real
+        // sensor node uses an approved id and passes every ID-based filter
+        let outcome = run(AttackId::SpoofEcuViaSensors, EnforcementConfig::full());
+        assert_eq!(outcome, AttackOutcome::Succeeded);
+    }
+
+    #[test]
+    fn mac_contains_the_infotainment_exploit() {
+        let outcome = run(AttackId::InfotainmentEscalation, EnforcementConfig::mac_only());
+        assert_eq!(outcome, AttackOutcome::Blocked);
+    }
+
+    #[test]
+    fn exfil_is_detected_with_app_policy() {
+        let outcome = run(AttackId::RadioPrivacyExfil, EnforcementConfig::app_only());
+        assert_eq!(outcome, AttackOutcome::Detected);
+        let outcome = run(AttackId::RadioPrivacyExfil, EnforcementConfig::none());
+        assert_eq!(outcome, AttackOutcome::Succeeded);
+    }
+
+    #[test]
+    fn software_filters_fall_to_the_compromise_premise() {
+        // the paper's argument: software filters are wiped by software
+        // attacks, so the spoof still lands
+        let outcome = run(AttackId::SpoofEcuDisable, EnforcementConfig::software_only());
+        assert_eq!(outcome, AttackOutcome::Succeeded);
+    }
+
+    #[test]
+    fn defence_in_depth_stops_all_but_the_documented_gap() {
+        for attack in AttackId::ALL {
+            let outcome = run(attack, EnforcementConfig::full());
+            if attack == AttackId::SpoofEcuViaSensors {
+                assert_eq!(outcome, AttackOutcome::Succeeded, "documented gap");
+            } else {
+                assert!(
+                    outcome != AttackOutcome::Succeeded,
+                    "{attack} must not succeed under full enforcement (got {outcome:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attack_metadata_is_consistent() {
+        for (i, attack) in AttackId::ALL.iter().enumerate() {
+            assert_eq!(attack.threat_id(), format!("t{}", i + 1));
+        }
+        assert_eq!(AttackId::FailsafeOverride.natural_mode(), CarMode::FailSafe);
+        assert_eq!(AttackId::SpoofEcuDisable.natural_mode(), CarMode::Normal);
+        assert!(AttackId::SpoofEcuDisable.to_string().contains("t1"));
+    }
+}

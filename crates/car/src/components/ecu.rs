@@ -1,0 +1,225 @@
+//! The EV-ECU (accelerator, brake, transmission control).
+//!
+//! The paper's most critical asset. Propulsion can be disabled by a
+//! legitimate `ECU_COMMAND` (policy-checked) or by a crash report from the
+//! crash sensor (hardwired reaction). Table I row 1's threat is exactly the
+//! abuse of these paths with spoofed frames.
+
+use super::{lock, policy_permits, shared, AppPolicy, Shared};
+use crate::messages::{self, parse_command};
+use polsec_can::{CanFrame, Firmware, FirmwareAction};
+use polsec_core::Action;
+use polsec_sim::SimTime;
+
+/// Observable EV-ECU state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcuState {
+    /// Whether propulsion is currently enabled.
+    pub propulsion_enabled: bool,
+    /// Disable events honoured (from commands or crash reports).
+    pub disable_events: u32,
+    /// Commands rejected by the application policy.
+    pub rejected_commands: u32,
+    /// Crash reports acted on.
+    pub crash_reactions: u32,
+}
+
+impl Default for EcuState {
+    fn default() -> Self {
+        EcuState {
+            propulsion_enabled: true,
+            disable_events: 0,
+            rejected_commands: 0,
+            crash_reactions: 0,
+        }
+    }
+}
+
+struct EcuFirmware {
+    state: Shared<EcuState>,
+    policy: Option<AppPolicy>,
+}
+
+/// Creates the EV-ECU firmware and its state handle.
+pub fn ecu_firmware(policy: Option<AppPolicy>) -> (Box<dyn Firmware>, Shared<EcuState>) {
+    let state = shared(EcuState::default());
+    (
+        Box::new(EcuFirmware {
+            state: state.clone(),
+            policy,
+        }),
+        state,
+    )
+}
+
+impl Firmware for EcuFirmware {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+        let id = frame.id().raw() as u16;
+        match id {
+            messages::ECU_COMMAND => {
+                let Some((cmd, origin)) = parse_command(frame) else {
+                    return Vec::new();
+                };
+                let allowed =
+                    policy_permits(&self.policy, origin, "ev-ecu", Action::Write, now);
+                let mut s = lock(&self.state);
+                if !allowed {
+                    s.rejected_commands += 1;
+                    return vec![FirmwareAction::Log(format!(
+                        "ecu: rejected command {cmd:#04x} from {origin}"
+                    ))];
+                }
+                match cmd {
+                    0x01 => s.propulsion_enabled = true,
+                    0x02 => {
+                        s.propulsion_enabled = false;
+                        s.disable_events += 1;
+                    }
+                    _ => {}
+                }
+                Vec::new()
+            }
+            messages::SENSOR_CRASH => {
+                // Hardwired safety reaction: a crash report stops propulsion.
+                if frame.payload().first().copied().unwrap_or(0) > 0 {
+                    let mut s = lock(&self.state);
+                    s.propulsion_enabled = false;
+                    s.disable_events += 1;
+                    s.crash_reactions += 1;
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+        let enabled = lock(&self.state).propulsion_enabled;
+        match CanFrame::data(
+            polsec_can::CanId::Standard(messages::ECU_STATUS),
+            &[u8::from(enabled)],
+        ) {
+            Ok(f) => vec![FirmwareAction::Send(f)],
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ev-ecu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{command_frame, Origin};
+    use polsec_core::dsl::parse_policy;
+    use polsec_core::{EvalContext, PolicyEngine};
+    use std::sync::Arc;
+
+    fn policy_point() -> AppPolicy {
+        let policy = parse_policy(
+            r#"policy "ecu" version 1 {
+                allow write on asset:ev-ecu from entry:safety-critical when state.crash == true;
+                allow write on asset:ev-ecu from entry:diagnostics when mode == "remote diagnostic";
+            }"#,
+        )
+        .unwrap();
+        AppPolicy::new(
+            Arc::new(PolicyEngine::from_policy(policy)),
+            shared(EvalContext::new().with_mode("normal")),
+        )
+    }
+
+    fn disable_cmd(origin: Origin) -> CanFrame {
+        command_frame(messages::ECU_COMMAND, 0x02, origin, &[]).unwrap()
+    }
+
+    #[test]
+    fn unprotected_ecu_honours_any_command() {
+        let (mut fw, state) = ecu_firmware(None);
+        fw.on_frame(SimTime::ZERO, &disable_cmd(Origin::Telematics));
+        assert!(!lock(&state).propulsion_enabled);
+        assert_eq!(lock(&state).disable_events, 1);
+    }
+
+    #[test]
+    fn policy_rejects_unauthorised_disable() {
+        let (mut fw, state) = ecu_firmware(Some(policy_point()));
+        fw.on_frame(SimTime::ZERO, &disable_cmd(Origin::SafetyCritical));
+        let s = lock(&state);
+        assert!(s.propulsion_enabled, "no crash: safety-critical may not stop");
+        assert_eq!(s.rejected_commands, 1);
+    }
+
+    #[test]
+    fn crash_state_authorises_safety_stop() {
+        let app = policy_point();
+        app.set_state("crash", "true");
+        let (mut fw, state) = ecu_firmware(Some(app));
+        fw.on_frame(SimTime::ZERO, &disable_cmd(Origin::SafetyCritical));
+        assert!(!lock(&state).propulsion_enabled);
+    }
+
+    #[test]
+    fn crash_sensor_reaction_is_hardwired() {
+        let (mut fw, state) = ecu_firmware(Some(policy_point()));
+        let crash = CanFrame::data(
+            polsec_can::CanId::Standard(messages::SENSOR_CRASH),
+            &[1],
+        )
+        .unwrap();
+        fw.on_frame(SimTime::ZERO, &crash);
+        let s = lock(&state);
+        assert!(!s.propulsion_enabled);
+        assert_eq!(s.crash_reactions, 1);
+    }
+
+    #[test]
+    fn zero_crash_value_is_ignored() {
+        let (mut fw, state) = ecu_firmware(None);
+        let quiet = CanFrame::data(
+            polsec_can::CanId::Standard(messages::SENSOR_CRASH),
+            &[0],
+        )
+        .unwrap();
+        fw.on_frame(SimTime::ZERO, &quiet);
+        assert!(lock(&state).propulsion_enabled);
+    }
+
+    #[test]
+    fn re_enable_via_command() {
+        let (mut fw, state) = ecu_firmware(None);
+        fw.on_frame(SimTime::ZERO, &disable_cmd(Origin::Diagnostics));
+        assert!(!lock(&state).propulsion_enabled);
+        let enable = command_frame(messages::ECU_COMMAND, 0x01, Origin::Diagnostics, &[]).unwrap();
+        fw.on_frame(SimTime::ZERO, &enable);
+        assert!(lock(&state).propulsion_enabled);
+    }
+
+    #[test]
+    fn tick_broadcasts_status() {
+        let (mut fw, _state) = ecu_firmware(None);
+        let actions = fw.on_tick(SimTime::ZERO);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            FirmwareAction::Send(f) => {
+                assert_eq!(f.id().raw() as u16, messages::ECU_STATUS);
+                assert_eq!(f.payload(), &[1]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_commands_are_ignored() {
+        let (mut fw, state) = ecu_firmware(None);
+        let junk = CanFrame::data(
+            polsec_can::CanId::Standard(messages::ECU_COMMAND),
+            &[0x02],
+        )
+        .unwrap(); // missing origin byte
+        fw.on_frame(SimTime::ZERO, &junk);
+        assert!(lock(&state).propulsion_enabled);
+    }
+}

@@ -1,0 +1,120 @@
+//! The sensor cluster (wheel speed, proximity, crash, temperature).
+//!
+//! Broadcast-only under normal operation; the compromised-sensor attacks
+//! (Table I rows 2, 6, 12, 15) replace this firmware with a spoofing one.
+
+use super::{lock, shared, Shared};
+use crate::messages;
+use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_sim::SimTime;
+
+/// Observable sensor-cluster state (what the real sensors measure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorState {
+    /// Current wheel speed (km/h).
+    pub wheel_speed: u8,
+    /// Current engine temperature (°C).
+    pub temperature: u8,
+    /// Proximity reading (0 = clear).
+    pub proximity: u8,
+    /// Crash flag (0 = none).
+    pub crash: u8,
+    /// Broadcast rounds completed.
+    pub broadcasts: u32,
+}
+
+impl Default for SensorState {
+    fn default() -> Self {
+        SensorState {
+            wheel_speed: 60,
+            temperature: 80,
+            proximity: 0,
+            crash: 0,
+            broadcasts: 0,
+        }
+    }
+}
+
+struct SensorsFirmware {
+    state: Shared<SensorState>,
+}
+
+/// Creates the sensor-cluster firmware and its state handle.
+pub fn sensors_firmware() -> (Box<dyn Firmware>, Shared<SensorState>) {
+    let state = shared(SensorState::default());
+    (Box::new(SensorsFirmware { state: state.clone() }), state)
+}
+
+impl Firmware for SensorsFirmware {
+    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> Vec<FirmwareAction> {
+        Vec::new() // sensors only listen to mode changes, which need no action
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+        let mut s = lock(&self.state);
+        s.broadcasts += 1;
+        let readings = [
+            (messages::SENSOR_WHEEL_SPEED, s.wheel_speed),
+            (messages::SENSOR_TEMP, s.temperature),
+            (messages::SENSOR_PROXIMITY, s.proximity),
+            (messages::SENSOR_CRASH, s.crash),
+        ];
+        readings
+            .iter()
+            .filter_map(|&(id, v)| {
+                CanFrame::data(CanId::Standard(id), &[v])
+                    .ok()
+                    .map(FirmwareAction::Send)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "sensors"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_broadcasts_all_four_readings() {
+        let (mut fw, state) = sensors_firmware();
+        let actions = fw.on_tick(SimTime::ZERO);
+        assert_eq!(actions.len(), 4);
+        let ids: Vec<u16> = actions
+            .iter()
+            .filter_map(|a| match a {
+                FirmwareAction::Send(f) => Some(f.id().raw() as u16),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&messages::SENSOR_WHEEL_SPEED));
+        assert!(ids.contains(&messages::SENSOR_CRASH));
+        assert_eq!(lock(&state).broadcasts, 1);
+    }
+
+    #[test]
+    fn state_values_flow_into_frames() {
+        let (mut fw, state) = sensors_firmware();
+        lock(&state).wheel_speed = 88;
+        let actions = fw.on_tick(SimTime::ZERO);
+        let speed = actions.iter().find_map(|a| match a {
+            FirmwareAction::Send(f) if f.id().raw() as u16 == messages::SENSOR_WHEEL_SPEED => {
+                Some(f.payload()[0])
+            }
+            _ => None,
+        });
+        assert_eq!(speed, Some(88));
+    }
+
+    #[test]
+    fn incoming_frames_are_inert() {
+        let (mut fw, state) = sensors_firmware();
+        let before = lock(&state).clone();
+        let f = CanFrame::data(CanId::Standard(messages::ECU_COMMAND), &[2, 1]).unwrap();
+        assert!(fw.on_frame(SimTime::ZERO, &f).is_empty());
+        assert_eq!(*lock(&state), before);
+    }
+}

@@ -1,0 +1,51 @@
+//! # polsec-car — the connected-car case study
+//!
+//! The paper's §V use case, fully executable: the car of Fig. 2 as a set of
+//! CAN nodes on a shared bus, the three car modes, the sixteen Table I
+//! threats as data *and* as runnable attack scenarios, and a scenario
+//! runner that measures attack outcomes under different enforcement
+//! configurations.
+//!
+//! * [`messages`] — the CAN identifier map and each node's legitimate
+//!   read/write communication matrix,
+//! * [`CarMode`] — Normal / Remote Diagnostic / Fail-safe with transitions,
+//! * [`components`] — firmware state machines for EV-ECU, EPS, engine,
+//!   telematics, infotainment, door locks, safety-critical system, sensors,
+//! * [`builder`] — assembles a [`Car`] under an [`EnforcementConfig`]
+//!   (software filters / application policy checks / HPE),
+//! * [`threats`] — Table I transcribed: all sixteen threats with the
+//!   paper's exact STRIDE strings, DREAD vectors and R/W policies,
+//! * [`security_model`] — the car use case → threat-model pipeline →
+//!   compiled policies,
+//! * [`attacks`] + [`scenario`] — one executable attack per Table I row and
+//!   the runner behind the E1 attack matrix.
+//!
+//! # Example
+//!
+//! ```
+//! use polsec_car::{AttackId, CarMode, EnforcementConfig, ScenarioRunner};
+//!
+//! let runner = ScenarioRunner::new(7);
+//! let report = runner.run(AttackId::SpoofEcuDisable, CarMode::Normal,
+//!                         EnforcementConfig::hpe_only());
+//! assert!(report.outcome.is_blocked(), "HPE must stop the ECU spoof");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod builder;
+pub mod components;
+pub mod messages;
+pub mod modes;
+pub mod scenario;
+pub mod security_model;
+pub mod threats;
+
+pub use attacks::AttackId;
+pub use builder::{Car, CarBuilder, EnforcementConfig};
+pub use modes::CarMode;
+pub use scenario::{AttackOutcome, AttackReport, ScenarioRunner};
+pub use security_model::{car_policy, car_security_model, car_use_case};
+pub use threats::{table1_threats, Table1Row, TABLE1};

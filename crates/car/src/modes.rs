@@ -1,0 +1,126 @@
+//! Car operating modes.
+//!
+//! "The connected car features three operating modes … under which the
+//! vehicle's core functionalities will be adjusted" (paper §V):
+//! Normal, Remote Diagnostic and Fail-safe.
+
+use polsec_model::OperatingMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's three car modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CarMode {
+    /// Standard vehicle functionality (driving, parked).
+    #[default]
+    Normal,
+    /// Maintenance by manufacturer or authorised engineer.
+    RemoteDiagnostic,
+    /// Reserved for emergency situations.
+    FailSafe,
+}
+
+impl CarMode {
+    /// All three modes.
+    pub const ALL: [CarMode; 3] = [CarMode::Normal, CarMode::RemoteDiagnostic, CarMode::FailSafe];
+
+    /// The canonical mode name used in policies and threat models.
+    pub fn name(self) -> &'static str {
+        match self {
+            CarMode::Normal => "normal",
+            CarMode::RemoteDiagnostic => "remote diagnostic",
+            CarMode::FailSafe => "fail-safe",
+        }
+    }
+
+    /// The threat-model [`OperatingMode`] for this car mode.
+    pub fn operating_mode(self) -> OperatingMode {
+        OperatingMode::new(self.name())
+    }
+
+    /// The wire code broadcast in `MODE_CHANGE` frames.
+    pub fn code(self) -> u8 {
+        match self {
+            CarMode::Normal => 0x01,
+            CarMode::RemoteDiagnostic => 0x02,
+            CarMode::FailSafe => 0x03,
+        }
+    }
+
+    /// Decodes a wire mode code.
+    pub fn from_code(code: u8) -> Option<CarMode> {
+        match code {
+            0x01 => Some(CarMode::Normal),
+            0x02 => Some(CarMode::RemoteDiagnostic),
+            0x03 => Some(CarMode::FailSafe),
+            _ => None,
+        }
+    }
+
+    /// Whether a transition from `self` to `to` is legitimate.
+    ///
+    /// Normal ↔ Remote Diagnostic requires an authorised session; any mode
+    /// may escalate to Fail-safe (emergencies pre-empt); Fail-safe only
+    /// de-escalates to Normal after recovery.
+    pub fn can_transition_to(self, to: CarMode) -> bool {
+        match (self, to) {
+            (a, b) if a == b => true,
+            (_, CarMode::FailSafe) => true,
+            (CarMode::Normal, CarMode::RemoteDiagnostic) => true,
+            (CarMode::RemoteDiagnostic, CarMode::Normal) => true,
+            (CarMode::FailSafe, CarMode::Normal) => true,
+            (CarMode::FailSafe, CarMode::RemoteDiagnostic) => false,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CarMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for m in CarMode::ALL {
+            assert_eq!(CarMode::from_code(m.code()), Some(m));
+        }
+        assert_eq!(CarMode::from_code(0), None);
+        assert_eq!(CarMode::from_code(9), None);
+    }
+
+    #[test]
+    fn names_match_threat_model_modes() {
+        assert_eq!(CarMode::Normal.operating_mode(), OperatingMode::new("normal"));
+        assert_eq!(
+            CarMode::RemoteDiagnostic.operating_mode(),
+            OperatingMode::new("Remote Diagnostic")
+        );
+        assert_eq!(CarMode::FailSafe.operating_mode(), OperatingMode::new("FAIL-SAFE"));
+    }
+
+    #[test]
+    fn transition_rules() {
+        use CarMode::*;
+        assert!(Normal.can_transition_to(RemoteDiagnostic));
+        assert!(RemoteDiagnostic.can_transition_to(Normal));
+        assert!(Normal.can_transition_to(FailSafe), "emergency pre-empts");
+        assert!(RemoteDiagnostic.can_transition_to(FailSafe));
+        assert!(FailSafe.can_transition_to(Normal), "recovery");
+        assert!(!FailSafe.can_transition_to(RemoteDiagnostic));
+        for m in CarMode::ALL {
+            assert!(m.can_transition_to(m), "self-transition is identity");
+        }
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(CarMode::default(), CarMode::Normal);
+        assert_eq!(CarMode::Normal.to_string(), "normal");
+    }
+}

@@ -1,0 +1,348 @@
+//! Table I of the paper, transcribed as data.
+//!
+//! Every row carries the paper's exact STRIDE string, DREAD vector, printed
+//! average and derived policy. The per-mode applicability columns (Normal /
+//! Remote Diagnostic / Fail-safe check-marks) did not survive the PDF text
+//! extraction; they are **reconstructed from the threat semantics** and
+//! flagged as such in DESIGN.md §4.
+
+use crate::modes::CarMode;
+use polsec_model::{DreadScore, PermissionHint, Threat};
+
+/// One transcribed row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Stable threat id (`t1`..`t16`, row order).
+    pub id: &'static str,
+    /// Critical asset (threat-model asset id).
+    pub asset: &'static str,
+    /// Reconstructed mode applicability (see module docs).
+    pub modes: &'static [CarMode],
+    /// Entry points (threat-model entry-point ids).
+    pub entry_points: &'static [&'static str],
+    /// "Potential Threats" column, verbatim.
+    pub description: &'static str,
+    /// STRIDE column, verbatim.
+    pub stride: &'static str,
+    /// DREAD vector, verbatim.
+    pub dread: [u8; 5],
+    /// The parenthesised average as printed in the paper.
+    pub printed_average: f64,
+    /// Policy column, verbatim (`R`/`W`/`RW`).
+    pub policy: &'static str,
+}
+
+/// All sixteen rows of Table I in paper order.
+pub const TABLE1: [Table1Row; 16] = [
+    Table1Row {
+        id: "t1",
+        asset: "ev-ecu",
+        modes: &[CarMode::Normal],
+        entry_points: &["door-locks", "safety-critical"],
+        description: "Spoofed data over CANbus causing disablement of ECU",
+        stride: "STD",
+        dread: [8, 5, 4, 6, 4],
+        printed_average: 5.4,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t2",
+        asset: "ev-ecu",
+        modes: &[CarMode::Normal],
+        entry_points: &["sensors"],
+        description: "Spoofed data over CANbus causing disablement of ECU",
+        stride: "STD",
+        dread: [8, 5, 4, 6, 4],
+        printed_average: 5.4,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t3",
+        asset: "ev-ecu",
+        modes: &[CarMode::Normal],
+        entry_points: &["telematics"],
+        description: "Disabled remote tracking system after theft",
+        stride: "SD",
+        dread: [6, 3, 3, 6, 4],
+        printed_average: 4.4,
+        policy: "RW",
+    },
+    Table1Row {
+        id: "t4",
+        asset: "ev-ecu",
+        modes: &[CarMode::FailSafe],
+        entry_points: &["telematics"],
+        description: "Fail-safe protection override to reactivate vehicle",
+        stride: "STE",
+        dread: [5, 5, 5, 7, 6],
+        printed_average: 5.6,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t5",
+        asset: "eps",
+        modes: &[CarMode::Normal],
+        entry_points: &["any-node"],
+        description: "EPS deactivation through compromised CAN node.",
+        stride: "STD",
+        dread: [5, 5, 5, 6, 7],
+        printed_average: 5.6,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t6",
+        asset: "engine",
+        modes: &[CarMode::Normal],
+        entry_points: &["sensors"],
+        description: "Deactivation through compromised sensor",
+        stride: "STD",
+        dread: [6, 5, 4, 7, 5],
+        printed_average: 5.4,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t7",
+        asset: "3g-4g-wifi",
+        modes: &[CarMode::Normal, CarMode::RemoteDiagnostic],
+        entry_points: &["ev-ecu", "sensors"],
+        description: "Critical component modification during operation",
+        stride: "STIDE",
+        dread: [7, 5, 5, 9, 4],
+        printed_average: 6.0,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t8",
+        asset: "3g-4g-wifi",
+        modes: &[CarMode::Normal],
+        entry_points: &["infotainment"],
+        description: "Privacy attack using modified radio firmware",
+        stride: "TIE",
+        dread: [7, 5, 5, 6, 5],
+        printed_average: 5.6,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t9",
+        asset: "3g-4g-wifi",
+        modes: &[CarMode::FailSafe],
+        entry_points: &["emergency", "door-locks"],
+        description: "Prevent operation of fail-safe comms by disabling modem.",
+        stride: "TDE",
+        dread: [6, 6, 7, 8, 6],
+        printed_average: 6.6,
+        policy: "RW",
+    },
+    Table1Row {
+        id: "t10",
+        asset: "3g-4g-wifi",
+        modes: &[CarMode::FailSafe],
+        entry_points: &["sensors", "air-bags"],
+        description: "Prevent operation of fail-safe comms by disabling modem.",
+        stride: "TDE",
+        dread: [6, 6, 7, 8, 6],
+        printed_average: 6.6,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t11",
+        asset: "infotainment",
+        modes: &[CarMode::Normal],
+        entry_points: &["media-browser"],
+        description: "Exploit to gain access to higher control level",
+        stride: "STE",
+        dread: [7, 5, 6, 8, 6],
+        printed_average: 6.4,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t12",
+        asset: "infotainment",
+        modes: &[CarMode::Normal],
+        entry_points: &["sensors", "ev-ecu"],
+        description: "Modification of car status values, GPS, speed, etc",
+        stride: "STR",
+        dread: [3, 5, 6, 4, 5],
+        printed_average: 4.6,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t13",
+        asset: "door-locks",
+        modes: &[CarMode::Normal],
+        entry_points: &["telematics", "manual"],
+        description: "Unlock attempt while in motion",
+        stride: "TDE",
+        dread: [8, 5, 3, 8, 5],
+        printed_average: 5.8,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t14",
+        asset: "door-locks",
+        modes: &[CarMode::FailSafe],
+        entry_points: &["telematics", "safety-critical"],
+        description: "Lock mechanism triggered during accident",
+        stride: "TDE",
+        dread: [8, 6, 7, 8, 5],
+        printed_average: 6.8,
+        policy: "W",
+    },
+    Table1Row {
+        id: "t15",
+        asset: "safety-critical",
+        modes: &[CarMode::Normal],
+        entry_points: &["sensors"],
+        description: "False triggering of fail-safe mode to unlock vehicle",
+        stride: "STE",
+        dread: [7, 4, 5, 8, 4],
+        printed_average: 5.6,
+        policy: "R",
+    },
+    Table1Row {
+        id: "t16",
+        asset: "safety-critical",
+        modes: &[CarMode::Normal],
+        entry_points: &["sensors"],
+        description: "Disable alarm and locking system to allow theft",
+        stride: "TE",
+        dread: [9, 4, 5, 9, 4],
+        printed_average: 6.2,
+        policy: "W",
+    },
+];
+
+/// Builds the sixteen threats as `polsec-model` [`Threat`]s.
+///
+/// # Panics
+/// Never for the embedded table — all values are validated by unit tests
+/// against the paper before release.
+pub fn table1_threats() -> Vec<Threat> {
+    TABLE1
+        .iter()
+        .map(|row| {
+            let dread = DreadScore::new(
+                row.dread[0],
+                row.dread[1],
+                row.dread[2],
+                row.dread[3],
+                row.dread[4],
+            )
+            .expect("table scores are within 0-10");
+            let stride = row.stride.parse().expect("table stride strings are valid");
+            let policy =
+                PermissionHint::parse(row.policy).expect("table policy strings are valid");
+            let mut builder = Threat::builder(row.id, row.description)
+                .asset(row.asset)
+                .stride(stride)
+                .dread(dread)
+                .policy(policy);
+            for ep in row.entry_points {
+                builder = builder.entry_point(*ep);
+            }
+            for m in row.modes {
+                builder = builder.mode(m.name());
+            }
+            builder.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polsec_model::{RiskRating, StrideSet};
+
+    #[test]
+    fn sixteen_rows_as_in_the_paper() {
+        assert_eq!(TABLE1.len(), 16);
+        assert_eq!(table1_threats().len(), 16);
+    }
+
+    #[test]
+    fn every_printed_average_recomputes_exactly() {
+        for row in &TABLE1 {
+            let d = DreadScore::new(
+                row.dread[0],
+                row.dread[1],
+                row.dread[2],
+                row.dread[3],
+                row.dread[4],
+            )
+            .unwrap();
+            assert!(
+                (d.average_1dp() - row.printed_average).abs() < 1e-9,
+                "{}: computed {} vs printed {}",
+                row.id,
+                d.average_1dp(),
+                row.printed_average
+            );
+        }
+    }
+
+    #[test]
+    fn every_stride_string_parses_and_round_trips() {
+        for row in &TABLE1 {
+            let s: StrideSet = row.stride.parse().unwrap_or_else(|e| panic!("{}: {e}", row.id));
+            assert_eq!(s.to_string(), row.stride, "{}", row.id);
+        }
+    }
+
+    #[test]
+    fn every_policy_string_parses() {
+        for row in &TABLE1 {
+            assert!(PermissionHint::parse(row.policy).is_some(), "{}", row.id);
+        }
+    }
+
+    #[test]
+    fn highest_risk_row_is_lock_during_accident() {
+        // the paper's highest average is 6.8 (row 14)
+        let worst = TABLE1
+            .iter()
+            .max_by(|a, b| a.printed_average.partial_cmp(&b.printed_average).unwrap())
+            .unwrap();
+        assert_eq!(worst.id, "t14");
+        assert!((worst.printed_average - 6.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowest_risk_row_is_tracking_disable() {
+        let best = TABLE1
+            .iter()
+            .min_by(|a, b| a.printed_average.partial_cmp(&b.printed_average).unwrap())
+            .unwrap();
+        assert_eq!(best.id, "t3");
+        assert!((best.printed_average - 4.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threats_carry_modes_and_policies() {
+        let threats = table1_threats();
+        let t4 = threats.iter().find(|t| t.id().as_str() == "t4").unwrap();
+        assert!(t4.applies_in(&CarMode::FailSafe.operating_mode()));
+        assert!(!t4.applies_in(&CarMode::Normal.operating_mode()));
+        let t3 = threats.iter().find(|t| t.id().as_str() == "t3").unwrap();
+        assert_eq!(t3.policy(), PermissionHint::ReadWrite);
+        let t14 = threats.iter().find(|t| t.id().as_str() == "t14").unwrap();
+        assert_eq!(t14.policy(), PermissionHint::Write);
+    }
+
+    #[test]
+    fn all_rows_rate_medium_or_high_as_in_paper() {
+        for t in table1_threats() {
+            assert!(
+                matches!(t.dread().rating(), RiskRating::Medium | RiskRating::High),
+                "{}",
+                t.id()
+            );
+        }
+    }
+
+    #[test]
+    fn row_ids_are_unique_and_ordered() {
+        for (i, row) in TABLE1.iter().enumerate() {
+            assert_eq!(row.id, format!("t{}", i + 1));
+        }
+    }
+}

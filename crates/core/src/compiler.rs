@@ -1,0 +1,270 @@
+//! Compiling threat-model output into enforceable policies.
+//!
+//! This is the bridge Fig. 1 draws between the two swim lanes: "the device
+//! security model is a task … that can be defined as access control
+//! policies". [`compile_security_model`] takes the [`SecurityModel`]
+//! produced by `polsec-model`'s pipeline and emits one [`Policy`] whose
+//! rules realise every derived [`PolicySpec`]:
+//!
+//! * a permission hint of `R` becomes an **allow read + deny write** pair
+//!   scoped to the threat's entry points (and symmetrically for `W`; `RW`
+//!   allows both),
+//! * mode lists become [`Condition::InMode`] guards,
+//! * the policy defaults to deny (least privilege, per the paper's §V.B).
+
+use crate::action::{Action, ActionSet};
+use crate::condition::Condition;
+use crate::entity::{EntityMatcher, Pattern};
+use crate::error::PolicyError;
+use crate::policy::{Effect, Policy, Rule};
+use polsec_model::{PermissionHint, PolicySpec, SecurityModel};
+
+/// Namespace used for entry-point subjects.
+pub const ENTRY_NS: &str = "entry";
+/// Namespace used for asset objects.
+pub const ASSET_NS: &str = "asset";
+
+/// Compiles one [`PolicySpec`] into rules, appending them to `policy`.
+///
+/// Rule ids are derived from `tag` (unique per spec).
+fn compile_spec(policy: Policy, spec: &PolicySpec, tag: &str) -> Result<Policy, PolicyError> {
+    let object = EntityMatcher::new(ASSET_NS, Pattern::Exact(spec.asset.as_str().to_string()));
+    let condition = mode_condition(spec);
+
+    let (allowed, denied): (Vec<Action>, Vec<Action>) = match spec.permission {
+        PermissionHint::Read => (vec![Action::Read], vec![Action::Write]),
+        PermissionHint::Write => (vec![Action::Write], vec![Action::Read]),
+        PermissionHint::ReadWrite => (vec![Action::Read, Action::Write], vec![]),
+    };
+
+    let mut policy = policy;
+    for (i, ep) in spec.entry_points.iter().enumerate() {
+        let subject = EntityMatcher::new(ENTRY_NS, Pattern::Exact(ep.as_str().to_string()));
+        if !allowed.is_empty() {
+            policy = policy.add_rule(
+                Rule::new(
+                    format!("{tag}-ep{i}-allow"),
+                    Effect::Allow,
+                    ActionSet::of(&allowed),
+                    subject.clone(),
+                    object.clone(),
+                )
+                .when(condition.clone()),
+            )?;
+        }
+        if !denied.is_empty() {
+            policy = policy.add_rule(
+                Rule::new(
+                    format!("{tag}-ep{i}-deny"),
+                    Effect::Deny,
+                    ActionSet::of(&denied),
+                    subject,
+                    object.clone(),
+                )
+                .when(condition.clone()),
+            )?;
+        }
+    }
+    Ok(policy)
+}
+
+fn mode_condition(spec: &PolicySpec) -> Condition {
+    match spec.modes.len() {
+        0 => Condition::Always,
+        1 => Condition::InMode(spec.modes[0].name().to_string()),
+        _ => Condition::AnyOf(
+            spec.modes
+                .iter()
+                .map(|m| Condition::InMode(m.name().to_string()))
+                .collect(),
+        ),
+    }
+}
+
+/// Compiles every policy spec in a security model into one deny-by-default
+/// [`Policy`].
+///
+/// # Errors
+/// [`PolicyError::DuplicateRule`] only if two specs generate colliding rule
+/// ids, which cannot happen for distinct spec indices.
+///
+/// # Example
+/// ```
+/// use polsec_core::compile_security_model;
+/// use polsec_model::{Asset, Criticality, DreadScore, EntryPoint, InterfaceKind,
+///                    PermissionHint, Threat, ThreatModelPipeline, UseCase};
+///
+/// let uc = UseCase::builder("demo")
+///     .asset(Asset::new("ecu", "ECU", Criticality::High))
+///     .entry_point(EntryPoint::new("can", "CAN", InterfaceKind::Bus))
+///     .mode("normal")
+///     .threat(
+///         Threat::builder("t", "spoof")
+///             .asset("ecu")
+///             .entry_point("can")
+///             .dread(DreadScore::new(5, 5, 5, 5, 5)?)
+///             .mode("normal")
+///             .policy(PermissionHint::Read)
+///             .build(),
+///     )
+///     .build()?;
+/// let model = ThreatModelPipeline::new().run(&uc);
+/// let policy = compile_security_model(&model, "demo-policy", 1)?;
+/// assert_eq!(policy.len(), 2); // allow-read + deny-write
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile_security_model(
+    model: &SecurityModel,
+    name: &str,
+    version: u64,
+) -> Result<Policy, PolicyError> {
+    compile_specs(&model.policy_specs(), name, version)
+}
+
+/// Compiles a list of policy specs directly.
+///
+/// # Errors
+/// See [`compile_security_model`].
+pub fn compile_specs(
+    specs: &[&PolicySpec],
+    name: &str,
+    version: u64,
+) -> Result<Policy, PolicyError> {
+    let mut policy = Policy::new(name, version).with_default(Effect::Deny);
+    for (i, spec) in specs.iter().enumerate() {
+        policy = compile_spec(policy, spec, &format!("s{i}"))?;
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PolicyEngine;
+    use crate::entity::EntityId;
+    use crate::request::{AccessRequest, EvalContext};
+    use polsec_model::{
+        Asset, Criticality, DreadScore, EntryPoint, InterfaceKind, OperatingMode,
+        ThreatModelPipeline, UseCase,
+    };
+    use polsec_model::{AssetId, EntryPointId, Threat};
+
+    fn spec(permission: PermissionHint, modes: &[&str]) -> PolicySpec {
+        PolicySpec {
+            asset: AssetId::new("ev-ecu"),
+            entry_points: vec![EntryPointId::new("sensors"), EntryPointId::new("locks")],
+            permission,
+            modes: modes.iter().map(OperatingMode::new).collect(),
+            rationale: "test".into(),
+        }
+    }
+
+    fn request(subject: &str, action: Action) -> AccessRequest {
+        AccessRequest::new(
+            EntityId::new(ENTRY_NS, subject),
+            EntityId::new(ASSET_NS, "ev-ecu"),
+            action,
+        )
+    }
+
+    #[test]
+    fn read_hint_allows_read_denies_write() {
+        let s = spec(PermissionHint::Read, &[]);
+        let p = compile_specs(&[&s], "p", 1).unwrap();
+        assert_eq!(p.len(), 4, "2 entry points × (allow + deny)");
+        let e = PolicyEngine::from_policy(p);
+        let ctx = EvalContext::new();
+        assert!(e.decide(&request("sensors", Action::Read), &ctx).is_allow());
+        assert!(!e.decide(&request("sensors", Action::Write), &ctx).is_allow());
+        assert!(e.decide(&request("locks", Action::Read), &ctx).is_allow());
+    }
+
+    #[test]
+    fn write_hint_is_symmetric() {
+        let s = spec(PermissionHint::Write, &[]);
+        let e = PolicyEngine::from_policy(compile_specs(&[&s], "p", 1).unwrap());
+        let ctx = EvalContext::new();
+        assert!(e.decide(&request("sensors", Action::Write), &ctx).is_allow());
+        assert!(!e.decide(&request("sensors", Action::Read), &ctx).is_allow());
+    }
+
+    #[test]
+    fn rw_hint_allows_both_no_deny_rules() {
+        let s = spec(PermissionHint::ReadWrite, &[]);
+        let p = compile_specs(&[&s], "p", 1).unwrap();
+        assert_eq!(p.len(), 2, "no deny rules for RW");
+        let e = PolicyEngine::from_policy(p);
+        let ctx = EvalContext::new();
+        assert!(e.decide(&request("sensors", Action::Read), &ctx).is_allow());
+        assert!(e.decide(&request("sensors", Action::Write), &ctx).is_allow());
+    }
+
+    #[test]
+    fn unlisted_entry_point_falls_to_default_deny() {
+        let s = spec(PermissionHint::ReadWrite, &[]);
+        let e = PolicyEngine::from_policy(compile_specs(&[&s], "p", 1).unwrap());
+        assert!(!e
+            .decide(&request("telematics", Action::Read), &EvalContext::new())
+            .is_allow());
+    }
+
+    #[test]
+    fn single_mode_becomes_in_mode_guard() {
+        let s = spec(PermissionHint::Read, &["normal"]);
+        let e = PolicyEngine::from_policy(compile_specs(&[&s], "p", 1).unwrap());
+        let r = request("sensors", Action::Read);
+        assert!(e.decide(&r, &EvalContext::new().with_mode("normal")).is_allow());
+        assert!(!e.decide(&r, &EvalContext::new().with_mode("fail-safe")).is_allow());
+        assert!(!e.decide(&r, &EvalContext::new()).is_allow(), "no mode set");
+    }
+
+    #[test]
+    fn multiple_modes_become_any_of() {
+        let s = spec(PermissionHint::Read, &["normal", "fail-safe"]);
+        let e = PolicyEngine::from_policy(compile_specs(&[&s], "p", 1).unwrap());
+        let r = request("sensors", Action::Read);
+        assert!(e.decide(&r, &EvalContext::new().with_mode("normal")).is_allow());
+        assert!(e.decide(&r, &EvalContext::new().with_mode("fail-safe")).is_allow());
+        assert!(!e
+            .decide(&r, &EvalContext::new().with_mode("remote diagnostic"))
+            .is_allow());
+    }
+
+    #[test]
+    fn full_pipeline_to_engine() {
+        let uc = UseCase::builder("car")
+            .asset(Asset::new("ev-ecu", "EV-ECU", Criticality::SafetyCritical))
+            .entry_point(EntryPoint::new("sensors", "Sensors", InterfaceKind::Sensor))
+            .mode("normal")
+            .threat(
+                Threat::builder("t1", "Spoofed data over CANbus")
+                    .asset("ev-ecu")
+                    .entry_point("sensors")
+                    .stride("STD".parse().unwrap())
+                    .dread(DreadScore::new(8, 5, 4, 6, 4).unwrap())
+                    .mode("normal")
+                    .policy(PermissionHint::Read)
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let model = ThreatModelPipeline::new().run(&uc);
+        let policy = compile_security_model(&model, "car-policy", 1).unwrap();
+        let engine = PolicyEngine::from_policy(policy);
+        let ctx = EvalContext::new().with_mode("normal");
+        assert!(engine.decide(&request("sensors", Action::Read), &ctx).is_allow());
+        assert!(!engine.decide(&request("sensors", Action::Write), &ctx).is_allow());
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_rule_ids() {
+        let a = spec(PermissionHint::Read, &[]);
+        let b = spec(PermissionHint::Write, &[]);
+        let p = compile_specs(&[&a, &b], "p", 1).unwrap();
+        assert_eq!(p.len(), 8);
+        let mut ids: Vec<&str> = p.rules().iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+}

@@ -1,0 +1,331 @@
+//! DSL lexer.
+
+use crate::error::PolicyError;
+
+/// A lexical token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An unquoted word: identifiers, numbers, patterns (`ev-ecu`,
+    /// `0x100-0x1FF`, `sensor-*`, `*`, `5.4`).
+    Word(String),
+    /// A double-quoted string.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `<=`
+    Le,
+}
+
+impl TokenKind {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("'{w}'"),
+            TokenKind::Str(s) => format!("\"{s}\""),
+            TokenKind::LBrace => "'{'".into(),
+            TokenKind::RBrace => "'}'".into(),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::Semi => "';'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Colon => "':'".into(),
+            TokenKind::EqEq => "'=='".into(),
+            TokenKind::NotEq => "'!='".into(),
+            TokenKind::AndAnd => "'&&'".into(),
+            TokenKind::OrOr => "'||'".into(),
+            TokenKind::Bang => "'!'".into(),
+            TokenKind::Le => "'<='".into(),
+        }
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '*')
+}
+
+/// Tokenizes DSL source.
+///
+/// # Errors
+/// [`PolicyError::Lex`] on unexpected characters or unterminated strings.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, PolicyError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // comment to end of line
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(PolicyError::Lex { line, found: '/' });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut terminated = false;
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        terminated = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !terminated {
+                    return Err(PolicyError::Lex { line, found: '"' });
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RParen, line });
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Semi, line });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Comma, line });
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Colon, line });
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                } else {
+                    return Err(PolicyError::Lex { line, found: '=' });
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::AndAnd, line });
+                } else {
+                    return Err(PolicyError::Lex { line, found: '&' });
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::OrOr, line });
+                } else {
+                    return Err(PolicyError::Lex { line, found: '|' });
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::NotEq, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, line });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Le, line });
+                } else {
+                    return Err(PolicyError::Lex { line, found: '<' });
+                }
+            }
+            c if is_word_char(c) => {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_word_char(c) {
+                        w.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Word(w), line });
+            }
+            other => return Err(PolicyError::Lex { line, found: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_symbols() {
+        assert_eq!(
+            kinds("allow read, write on asset:ev-ecu;"),
+            vec![
+                TokenKind::Word("allow".into()),
+                TokenKind::Word("read".into()),
+                TokenKind::Comma,
+                TokenKind::Word("write".into()),
+                TokenKind::Word("on".into()),
+                TokenKind::Word("asset".into()),
+                TokenKind::Colon,
+                TokenKind::Word("ev-ecu".into()),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn patterns_lex_as_single_words() {
+        assert_eq!(
+            kinds("0x100-0x1FF sensor-* * state.vehicle.moving"),
+            vec![
+                TokenKind::Word("0x100-0x1FF".into()),
+                TokenKind::Word("sensor-*".into()),
+                TokenKind::Word("*".into()),
+                TokenKind::Word("state.vehicle.moving".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != && || ! <= ( )"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Le,
+                TokenKind::LParen,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("\"hello world\" # a comment\nallow // another\ndeny"),
+            vec![
+                TokenKind::Str("hello world".into()),
+                TokenKind::Word("allow".into()),
+                TokenKind::Word("deny".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn lex_errors_report_line_and_char() {
+        let err = tokenize("ok\n$bad").unwrap_err();
+        assert_eq!(err, PolicyError::Lex { line: 2, found: '$' });
+        assert!(matches!(tokenize("= alone"), Err(PolicyError::Lex { found: '=', .. })));
+        assert!(matches!(tokenize("& alone"), Err(PolicyError::Lex { found: '&', .. })));
+        assert!(matches!(tokenize("| alone"), Err(PolicyError::Lex { found: '|', .. })));
+        assert!(matches!(tokenize("< alone"), Err(PolicyError::Lex { found: '<', .. })));
+        assert!(matches!(tokenize("/ alone"), Err(PolicyError::Lex { found: '/', .. })));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("\"oops"), Err(PolicyError::Lex { found: '"', .. })));
+    }
+
+    #[test]
+    fn describe_is_quoted() {
+        assert_eq!(TokenKind::Word("x".into()).describe(), "'x'");
+        assert_eq!(TokenKind::Semi.describe(), "';'");
+        assert_eq!(TokenKind::Str("s".into()).describe(), "\"s\"");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+        assert!(tokenize("# only a comment").unwrap().is_empty());
+    }
+}

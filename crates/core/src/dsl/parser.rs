@@ -1,0 +1,592 @@
+//! DSL recursive-descent parser.
+
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::action::{Action, ActionSet};
+use crate::condition::Condition;
+use crate::entity::{EntityMatcher, Pattern};
+use crate::error::PolicyError;
+use crate::policy::{Effect, Policy, Rule};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    auto_rule_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            auto_rule_id: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn err(&self, expected: &str) -> PolicyError {
+        PolicyError::Parse {
+            line: self.line(),
+            expected: expected.to_string(),
+            found: self
+                .peek()
+                .map(|k| k.describe())
+                .unwrap_or_else(|| "end of input".to_string()),
+        }
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), PolicyError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), PolicyError> {
+        match self.peek() {
+            Some(TokenKind::Word(w)) if w == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("'{kw}'"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(TokenKind::Word(w)) if w == kw => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, PolicyError> {
+        match self.peek() {
+            Some(TokenKind::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, PolicyError> {
+        match self.peek() {
+            Some(TokenKind::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    /// A value position accepts either a bare word or a quoted string.
+    fn value(&mut self, what: &str) -> Result<String, PolicyError> {
+        match self.peek() {
+            Some(TokenKind::Word(_)) => self.word(what),
+            Some(TokenKind::Str(_)) => self.string(what),
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn number_u64(&mut self, what: &str) -> Result<u64, PolicyError> {
+        let line = self.line();
+        let w = self.word(what)?;
+        w.parse().map_err(|_| PolicyError::Parse {
+            line,
+            expected: what.to_string(),
+            found: format!("'{w}'"),
+        })
+    }
+
+    fn number_i32(&mut self, what: &str) -> Result<i32, PolicyError> {
+        let line = self.line();
+        let w = self.word(what)?;
+        w.parse().map_err(|_| PolicyError::Parse {
+            line,
+            expected: what.to_string(),
+            found: format!("'{w}'"),
+        })
+    }
+
+    fn number_u32(&mut self, what: &str) -> Result<u32, PolicyError> {
+        let line = self.line();
+        let w = self.word(what)?;
+        w.parse().map_err(|_| PolicyError::Parse {
+            line,
+            expected: what.to_string(),
+            found: format!("'{w}'"),
+        })
+    }
+
+    fn policy(&mut self) -> Result<Policy, PolicyError> {
+        self.expect_keyword("policy")?;
+        let name = self.string("policy name string")?;
+        self.expect_keyword("version")?;
+        let version = self.number_u64("version number")?;
+        self.expect(&TokenKind::LBrace, "'{'")?;
+
+        let mut policy = Policy::new(name, version);
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(TokenKind::Word(w)) if w == "default" => {
+                    self.pos += 1;
+                    let effect = self.effect()?;
+                    self.expect(&TokenKind::Semi, "';'")?;
+                    policy = policy.with_default(effect);
+                }
+                Some(TokenKind::Word(w)) if w == "allow" || w == "deny" => {
+                    let rule = self.rule()?;
+                    policy = policy.add_rule(rule)?;
+                }
+                _ => return Err(self.err("'default', 'allow', 'deny' or '}'")),
+            }
+        }
+        Ok(policy)
+    }
+
+    fn effect(&mut self) -> Result<Effect, PolicyError> {
+        if self.eat_keyword("allow") {
+            Ok(Effect::Allow)
+        } else if self.eat_keyword("deny") {
+            Ok(Effect::Deny)
+        } else {
+            Err(self.err("'allow' or 'deny'"))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, PolicyError> {
+        let effect = self.effect()?;
+        let actions = self.actions()?;
+        self.expect_keyword("on")?;
+        let object = self.entity()?;
+        self.expect_keyword("from")?;
+        let subject = self.entity()?;
+
+        let mut condition = Condition::Always;
+        if self.eat_keyword("when") {
+            condition = self.cond_or()?;
+        }
+        let mut priority = 0;
+        if self.eat_keyword("priority") {
+            priority = self.number_i32("priority number")?;
+        }
+        let id = if self.eat_keyword("as") {
+            self.word("rule id")?
+        } else {
+            self.auto_rule_id += 1;
+            format!("r{}", self.auto_rule_id)
+        };
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(Rule::new(id, effect, actions, subject, object)
+            .when(condition)
+            .with_priority(priority))
+    }
+
+    fn actions(&mut self) -> Result<ActionSet, PolicyError> {
+        let mut set = ActionSet::EMPTY;
+        loop {
+            let line = self.line();
+            let w = self.word("action keyword")?;
+            let action: Action = w.parse().map_err(|_| PolicyError::Parse {
+                line,
+                expected: "action (read/write/execute/configure)".into(),
+                found: format!("'{w}'"),
+            })?;
+            set.insert(action);
+            if self.peek() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(set)
+    }
+
+    fn entity(&mut self) -> Result<EntityMatcher, PolicyError> {
+        let ns = self.word("entity namespace")?;
+        self.expect(&TokenKind::Colon, "':'")?;
+        let line = self.line();
+        let pat_word = self.word("entity pattern")?;
+        let pattern = Pattern::parse(&pat_word).map_err(|e| PolicyError::Parse {
+            line,
+            expected: "entity pattern".into(),
+            found: e.to_string(),
+        })?;
+        if ns == "*" {
+            Ok(EntityMatcher::any_namespace(pattern))
+        } else {
+            Ok(EntityMatcher::new(ns, pattern))
+        }
+    }
+
+    fn cond_or(&mut self) -> Result<Condition, PolicyError> {
+        let first = self.cond_and()?;
+        let mut parts = vec![first];
+        while self.peek() == Some(&TokenKind::OrOr) {
+            self.pos += 1;
+            parts.push(self.cond_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Condition::AnyOf(parts)
+        })
+    }
+
+    fn cond_and(&mut self) -> Result<Condition, PolicyError> {
+        let first = self.cond_not()?;
+        let mut parts = vec![first];
+        while self.peek() == Some(&TokenKind::AndAnd) {
+            self.pos += 1;
+            parts.push(self.cond_not()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Condition::All(parts)
+        })
+    }
+
+    fn cond_not(&mut self) -> Result<Condition, PolicyError> {
+        if self.peek() == Some(&TokenKind::Bang) {
+            self.pos += 1;
+            return Ok(Condition::Not(Box::new(self.cond_not()?)));
+        }
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            let inner = self.cond_or()?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(inner);
+        }
+        self.cond_atom()
+    }
+
+    fn cond_atom(&mut self) -> Result<Condition, PolicyError> {
+        let w = self.word("condition")?;
+        if w == "true" {
+            return Ok(Condition::Always);
+        }
+        if w == "mode" {
+            let negated = match self.next() {
+                Some(TokenKind::EqEq) => false,
+                Some(TokenKind::NotEq) => true,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("'==' or '!='"));
+                }
+            };
+            let mode = self.value("mode name")?;
+            let cond = Condition::InMode(mode);
+            return Ok(if negated { Condition::Not(Box::new(cond)) } else { cond });
+        }
+        if let Some(key) = w.strip_prefix("state.") {
+            let key = key.to_string();
+            let negated = match self.next() {
+                Some(TokenKind::EqEq) => false,
+                Some(TokenKind::NotEq) => true,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("'==' or '!='"));
+                }
+            };
+            let value = self.value("state value")?;
+            let cond = Condition::StateEquals { key, value };
+            return Ok(if negated { Condition::Not(Box::new(cond)) } else { cond });
+        }
+        if w == "rate" {
+            self.expect(&TokenKind::LParen, "'('")?;
+            let key = self.word("rate key")?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            self.expect(&TokenKind::Le, "'<='")?;
+            let max = self.number_u32("rate limit")?;
+            return Ok(Condition::RateAtMost { key, max_per_sec: max });
+        }
+        self.pos = self.pos.saturating_sub(1);
+        Err(self.err("'true', 'mode', 'state.<key>' or 'rate'"))
+    }
+}
+
+/// Parses a single `policy` block.
+///
+/// # Errors
+/// [`PolicyError::Lex`] / [`PolicyError::Parse`] with 1-based line numbers;
+/// [`PolicyError::DuplicateRule`] for repeated `as` ids.
+pub fn parse_policy(src: &str) -> Result<Policy, PolicyError> {
+    let mut p = Parser::new(tokenize(src)?);
+    let policy = p.policy()?;
+    if p.peek().is_some() {
+        return Err(p.err("end of input"));
+    }
+    Ok(policy)
+}
+
+/// Parses a file containing zero or more `policy` blocks.
+///
+/// # Errors
+/// As [`parse_policy`].
+pub fn parse_policies(src: &str) -> Result<Vec<Policy>, PolicyError> {
+    let mut p = Parser::new(tokenize(src)?);
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        out.push(p.policy()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::Pattern;
+
+    #[test]
+    fn minimal_policy() {
+        let p = parse_policy("policy \"empty\" version 1 { }").unwrap();
+        assert_eq!(p.name(), "empty");
+        assert_eq!(p.version(), 1);
+        assert!(p.is_empty());
+        assert_eq!(p.default_effect(), Effect::Deny);
+    }
+
+    #[test]
+    fn default_allow() {
+        let p = parse_policy("policy \"open\" version 1 { default allow; }").unwrap();
+        assert_eq!(p.default_effect(), Effect::Allow);
+    }
+
+    #[test]
+    fn full_rule() {
+        let p = parse_policy(
+            r#"policy "p" version 2 {
+                allow read, write on asset:ev-ecu from entry:sensor-*
+                    when mode == normal && rate(sensors) <= 10
+                    priority 7 as main-rule;
+            }"#,
+        )
+        .unwrap();
+        let r = &p.rules()[0];
+        assert_eq!(r.id(), "main-rule");
+        assert_eq!(r.effect(), Effect::Allow);
+        assert!(r.actions().contains(Action::Read));
+        assert!(r.actions().contains(Action::Write));
+        assert_eq!(r.priority(), 7);
+        assert_eq!(r.object().to_string(), "asset:ev-ecu");
+        assert_eq!(r.subject().pattern(), &Pattern::Prefix("sensor-".into()));
+        assert_eq!(
+            r.condition(),
+            &Condition::All(vec![
+                Condition::InMode("normal".into()),
+                Condition::RateAtMost { key: "sensors".into(), max_per_sec: 10 },
+            ])
+        );
+    }
+
+    #[test]
+    fn auto_rule_ids_increment() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                allow read on a:b from c:d;
+                deny write on a:b from c:d;
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.rules()[0].id(), "r1");
+        assert_eq!(p.rules()[1].id(), "r2");
+    }
+
+    #[test]
+    fn id_ranges_and_wildcards() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                deny write on can:0x100-0x1FF from *:*;
+            }"#,
+        )
+        .unwrap();
+        let r = &p.rules()[0];
+        assert_eq!(r.object().pattern(), &Pattern::IdRange { lo: 0x100, hi: 0x1FF });
+        assert_eq!(r.subject().namespace(), None);
+    }
+
+    #[test]
+    fn condition_precedence_and_parens() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                allow read on a:b from c:d when mode == x || mode == y && mode == z;
+                allow write on a:b from c:d when (mode == x || mode == y) && mode == z;
+            }"#,
+        )
+        .unwrap();
+        // && binds tighter than ||
+        assert_eq!(
+            p.rules()[0].condition(),
+            &Condition::AnyOf(vec![
+                Condition::InMode("x".into()),
+                Condition::All(vec![
+                    Condition::InMode("y".into()),
+                    Condition::InMode("z".into())
+                ]),
+            ])
+        );
+        assert_eq!(
+            p.rules()[1].condition(),
+            &Condition::All(vec![
+                Condition::AnyOf(vec![
+                    Condition::InMode("x".into()),
+                    Condition::InMode("y".into())
+                ]),
+                Condition::InMode("z".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn negation_and_inequality() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                allow read on a:b from c:d when !(mode == x);
+                allow write on a:b from c:d when mode != x;
+                allow execute on a:b from c:d when state.doors != locked;
+            }"#,
+        )
+        .unwrap();
+        let not_x = Condition::Not(Box::new(Condition::InMode("x".into())));
+        assert_eq!(p.rules()[0].condition(), &not_x);
+        assert_eq!(p.rules()[1].condition(), &not_x);
+        assert_eq!(
+            p.rules()[2].condition(),
+            &Condition::Not(Box::new(Condition::StateEquals {
+                key: "doors".into(),
+                value: "locked".into()
+            }))
+        );
+    }
+
+    #[test]
+    fn quoted_mode_values() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                allow read on a:b from c:d when mode == "remote diagnostic";
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.rules()[0].condition(),
+            &Condition::InMode("remote diagnostic".into())
+        );
+    }
+
+    #[test]
+    fn state_conditions() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                deny write on asset:door-locks from entry:telematics
+                    when state.vehicle.moving == true;
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.rules()[0].condition(),
+            &Condition::StateEquals { key: "vehicle.moving".into(), value: "true".into() }
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_policy("policy \"p\" version 1 {\n  allow fly on a:b from c:d;\n}")
+            .unwrap_err();
+        match err {
+            PolicyError::Parse { line, expected, found } => {
+                assert_eq!(line, 2);
+                assert!(expected.contains("action"));
+                assert_eq!(found, "'fly'");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse_policy("policy \"p\" version 1 { allow read on a:b from c:d }")
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::Parse { .. }));
+        assert!(err.to_string().contains("';'"));
+    }
+
+    #[test]
+    fn duplicate_as_ids_rejected() {
+        let err = parse_policy(
+            r#"policy "p" version 1 {
+                allow read on a:b from c:d as dup;
+                deny read on a:b from c:d as dup;
+            }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, PolicyError::DuplicateRule { id: "dup".into() });
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_policy("policy \"p\" version 1 { } trailing").unwrap_err();
+        assert!(err.to_string().contains("end of input"));
+    }
+
+    #[test]
+    fn multiple_policies() {
+        let ps = parse_policies(
+            r#"
+            policy "a" version 1 { }
+            policy "b" version 2 { default allow; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].name(), "a");
+        assert_eq!(ps[1].default_effect(), Effect::Allow);
+        assert!(parse_policies("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rate_condition_parses() {
+        let p = parse_policy(
+            r#"policy "p" version 1 {
+                deny write on a:b from c:d when !(rate(flood) <= 100);
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.rules()[0].condition(),
+            &Condition::Not(Box::new(Condition::RateAtMost {
+                key: "flood".into(),
+                max_per_sec: 100
+            }))
+        );
+    }
+}

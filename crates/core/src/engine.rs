@@ -1,0 +1,717 @@
+//! The policy evaluation engine.
+//!
+//! [`PolicyEngine`] evaluates [`AccessRequest`]s against a [`PolicySet`]
+//! under a configurable [`CombiningStrategy`]:
+//!
+//! * **deny-overrides** (default): any applying deny rule denies; otherwise
+//!   any applying allow rule allows; otherwise the set's default effect.
+//!   This is the least-privilege composition the paper's approach implies.
+//! * **first-match**: rules are consulted in declaration order; the first
+//!   applying rule wins (firewall-style).
+//! * **priority-order**: the applying rule with the highest priority wins;
+//!   priority ties resolve to deny.
+//!
+//! The engine keeps a subject index (exact `namespace:name` → rules) so
+//! common requests skip non-matching rules; the E4 bench ablates this.
+//! It also owns the sliding-window rate tracker backing
+//! [`Condition::RateAtMost`](crate::Condition::RateAtMost) and an
+//! [`AuditLog`]. Both live behind [`parking_lot`] locks so `decide` takes
+//! `&self` and the engine is `Sync` — enforcement points share one engine.
+
+use crate::audit::AuditLog;
+use crate::policy::{Effect, PolicySet, Rule};
+use crate::request::{AccessRequest, EvalContext};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// How applying rules combine into one decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CombiningStrategy {
+    /// Deny if any applying rule denies (least privilege). The default.
+    #[default]
+    DenyOverrides,
+    /// First applying rule in declaration order wins.
+    FirstMatch,
+    /// Highest-priority applying rule wins; ties resolve to deny.
+    PriorityOrder,
+}
+
+impl fmt::Display for CombiningStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CombiningStrategy::DenyOverrides => "deny-overrides",
+            CombiningStrategy::FirstMatch => "first-match",
+            CombiningStrategy::PriorityOrder => "priority-order",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The engine's answer for one request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    effect: Effect,
+    rule: Option<String>,
+    reason: String,
+}
+
+impl Decision {
+    /// The decided effect.
+    pub fn effect(&self) -> Effect {
+        self.effect
+    }
+
+    /// Whether access was allowed.
+    pub fn is_allow(&self) -> bool {
+        self.effect == Effect::Allow
+    }
+
+    /// The determining rule as `policy.rule`, or `None` for a default
+    /// decision.
+    pub fn rule(&self) -> Option<&str> {
+        self.rule.as_deref()
+    }
+
+    /// Human-readable explanation.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.effect, self.reason)
+    }
+}
+
+/// Sliding-window event rate tracker (1-second window).
+#[derive(Debug, Default)]
+struct RateTracker {
+    windows: HashMap<String, VecDeque<u64>>,
+}
+
+/// Window length for rate conditions, in microseconds.
+const RATE_WINDOW_US: u64 = 1_000_000;
+
+impl RateTracker {
+    fn observe(&mut self, key: &str, now_us: u64) {
+        let w = self.windows.entry(key.to_string()).or_default();
+        w.push_back(now_us);
+        Self::prune(w, now_us);
+    }
+
+    fn rate(&mut self, key: &str, now_us: u64) -> f64 {
+        match self.windows.get_mut(key) {
+            Some(w) => {
+                Self::prune(w, now_us);
+                w.len() as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    fn prune(w: &mut VecDeque<u64>, now_us: u64) {
+        let cutoff = now_us.saturating_sub(RATE_WINDOW_US);
+        while w.front().is_some_and(|&t| t < cutoff) {
+            w.pop_front();
+        }
+    }
+}
+
+/// Evaluation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total decisions taken.
+    pub decisions: u64,
+    /// Of which allows.
+    pub allows: u64,
+    /// Of which denies.
+    pub denies: u64,
+    /// Decisions that fell through to the default effect.
+    pub defaults: u64,
+    /// Rules examined across all decisions (index effectiveness metric).
+    pub rules_examined: u64,
+}
+
+/// The policy evaluation engine. See the module docs for semantics.
+pub struct PolicyEngine {
+    rules: Vec<(String, Rule)>, // (owning policy name, rule) in declaration order
+    default_effect: Effect,
+    strategy: CombiningStrategy,
+    indexing: bool,
+    // exact-subject index: (namespace, name) → indices into `rules`
+    subject_index: HashMap<(String, String), Vec<usize>>,
+    // rules whose subject matcher is not an exact key
+    unindexed: Vec<usize>,
+    audit: Mutex<AuditLog>,
+    rates: Mutex<RateTracker>,
+    stats: RwLock<EngineStats>,
+    set: PolicySet,
+}
+
+impl fmt::Debug for PolicyEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyEngine")
+            .field("rules", &self.rules.len())
+            .field("strategy", &self.strategy)
+            .field("default_effect", &self.default_effect)
+            .field("indexing", &self.indexing)
+            .finish()
+    }
+}
+
+impl PolicyEngine {
+    /// Creates an engine over a policy set with the default strategy
+    /// (deny-overrides) and indexing enabled.
+    pub fn new(set: PolicySet) -> Self {
+        let mut engine = PolicyEngine {
+            rules: Vec::new(),
+            default_effect: set.default_effect(),
+            strategy: CombiningStrategy::default(),
+            indexing: true,
+            subject_index: HashMap::new(),
+            unindexed: Vec::new(),
+            audit: Mutex::new(AuditLog::default()),
+            rates: Mutex::new(RateTracker::default()),
+            stats: RwLock::new(EngineStats::default()),
+            set,
+        };
+        engine.rebuild();
+        engine
+    }
+
+    /// Creates an engine from a single policy.
+    pub fn from_policy(p: crate::policy::Policy) -> Self {
+        PolicyEngine::new(PolicySet::from_policy(p))
+    }
+
+    /// Sets the combining strategy (builder style).
+    pub fn with_strategy(mut self, s: CombiningStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Enables or disables the subject index (for the E4 ablation).
+    pub fn with_indexing(mut self, enabled: bool) -> Self {
+        self.indexing = enabled;
+        self
+    }
+
+    /// The active combining strategy.
+    pub fn strategy(&self) -> CombiningStrategy {
+        self.strategy
+    }
+
+    /// The policy set the engine evaluates.
+    pub fn policy_set(&self) -> &PolicySet {
+        &self.set
+    }
+
+    /// Replaces the policy set (a policy update taking effect) and rebuilds
+    /// indexes. Audit history and rate windows are preserved.
+    pub fn reload(&mut self, set: PolicySet) {
+        self.default_effect = set.default_effect();
+        self.set = set;
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        self.rules.clear();
+        self.subject_index.clear();
+        self.unindexed.clear();
+        for (owner, rule) in self.set.rules() {
+            let idx = self.rules.len();
+            match rule.subject().exact_key() {
+                Some(key) => self.subject_index.entry(key).or_default().push(idx),
+                None => self.unindexed.push(idx),
+            }
+            self.rules.push((owner.to_string(), rule.clone()));
+        }
+    }
+
+    /// Total number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Notes an event for a rate key at `now_us` (drives `RateAtMost`
+    /// conditions). Call once per observed event (e.g. per frame).
+    pub fn observe_rate_event(&self, key: &str, now_us: u64) {
+        self.rates.lock().observe(key, now_us);
+    }
+
+    /// Decides a request. The context's rate fields are filled from the
+    /// engine's tracker before rule evaluation (caller-set rates for keys
+    /// the tracker knows are overwritten).
+    pub fn decide(&self, req: &AccessRequest, ctx: &EvalContext) -> Decision {
+        self.decide_at(req, ctx, 0)
+    }
+
+    /// Decides a request at an explicit time (microseconds), which both
+    /// timestamps the audit record and prunes rate windows.
+    pub fn decide_at(&self, req: &AccessRequest, ctx: &EvalContext, now_us: u64) -> Decision {
+        // Fill tracked rates into a working copy of the context.
+        let mut ctx = ctx.clone();
+        {
+            let mut rates = self.rates.lock();
+            for key in self.set.rate_keys() {
+                let r = rates.rate(&key, now_us);
+                ctx.set_rate(key, r);
+            }
+        }
+
+        // Candidate rules: exact-subject index hits + unindexed, in
+        // declaration order (merge preserves order because indices are
+        // ascending within each source).
+        let mut examined = 0u64;
+        let decision = if self.indexing {
+            let key = (
+                req.subject().namespace().to_string(),
+                req.subject().name().to_string(),
+            );
+            let indexed = self.subject_index.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
+            let merged = merge_sorted(indexed, &self.unindexed);
+            self.combine(req, &ctx, merged.iter().copied(), &mut examined)
+        } else {
+            self.combine(req, &ctx, 0..self.rules.len(), &mut examined)
+        };
+
+        {
+            let mut stats = self.stats.write();
+            stats.decisions += 1;
+            stats.rules_examined += examined;
+            match decision.effect {
+                Effect::Allow => stats.allows += 1,
+                Effect::Deny => stats.denies += 1,
+            }
+            if decision.rule.is_none() {
+                stats.defaults += 1;
+            }
+        }
+        self.audit
+            .lock()
+            .record(now_us, req.clone(), decision.effect, decision.rule.clone());
+        decision
+    }
+
+    fn combine<I: Iterator<Item = usize>>(
+        &self,
+        req: &AccessRequest,
+        ctx: &EvalContext,
+        candidates: I,
+        examined: &mut u64,
+    ) -> Decision {
+        match self.strategy {
+            CombiningStrategy::FirstMatch => {
+                for i in candidates {
+                    *examined += 1;
+                    let (owner, rule) = &self.rules[i];
+                    if rule.applies(req, ctx) {
+                        return Decision {
+                            effect: rule.effect(),
+                            rule: Some(format!("{owner}.{}", rule.id())),
+                            reason: format!("first matching rule {}", rule.id()),
+                        };
+                    }
+                }
+                self.default_decision()
+            }
+            CombiningStrategy::DenyOverrides => {
+                let mut allow: Option<(String, String)> = None;
+                for i in candidates {
+                    *examined += 1;
+                    let (owner, rule) = &self.rules[i];
+                    if rule.applies(req, ctx) {
+                        if rule.effect() == Effect::Deny {
+                            return Decision {
+                                effect: Effect::Deny,
+                                rule: Some(format!("{owner}.{}", rule.id())),
+                                reason: format!("deny-overrides: rule {} denies", rule.id()),
+                            };
+                        }
+                        if allow.is_none() {
+                            allow = Some((owner.clone(), rule.id().to_string()));
+                        }
+                    }
+                }
+                match allow {
+                    Some((owner, id)) => Decision {
+                        effect: Effect::Allow,
+                        rule: Some(format!("{owner}.{id}")),
+                        reason: format!("allowed by rule {id}, no deny applies"),
+                    },
+                    None => self.default_decision(),
+                }
+            }
+            CombiningStrategy::PriorityOrder => {
+                let mut best: Option<(i32, Effect, String)> = None;
+                for i in candidates {
+                    *examined += 1;
+                    let (owner, rule) = &self.rules[i];
+                    if rule.applies(req, ctx) {
+                        let key = format!("{owner}.{}", rule.id());
+                        let candidate = (rule.priority(), rule.effect(), key);
+                        best = Some(match best.take() {
+                            None => candidate,
+                            Some(cur) => {
+                                let wins = candidate.0 > cur.0
+                                    // priority tie: deny wins over allow
+                                    || (candidate.0 == cur.0
+                                        && candidate.1 == Effect::Deny
+                                        && cur.1 == Effect::Allow);
+                                if wins { candidate } else { cur }
+                            }
+                        });
+                    }
+                }
+                match best {
+                    Some((prio, effect, key)) => Decision {
+                        effect,
+                        rule: Some(key.clone()),
+                        reason: format!("priority {prio} rule {key}"),
+                    },
+                    None => self.default_decision(),
+                }
+            }
+        }
+    }
+
+    fn default_decision(&self) -> Decision {
+        Decision {
+            effect: self.default_effect,
+            rule: None,
+            reason: format!("no rule applies; default {}", self.default_effect),
+        }
+    }
+
+    /// Snapshot of evaluation statistics.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.read()
+    }
+
+    /// Runs a closure over the audit log.
+    pub fn with_audit<R>(&self, f: impl FnOnce(&AuditLog) -> R) -> R {
+        f(&self.audit.lock())
+    }
+}
+
+/// Merges two ascending index slices into one ascending vector.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, ActionSet};
+    use crate::condition::Condition;
+    use crate::entity::{EntityId, EntityMatcher, Pattern};
+    use crate::policy::Policy;
+
+    fn allow_read(id: &str, asset: &str) -> Rule {
+        Rule::new(
+            id,
+            Effect::Allow,
+            ActionSet::only(Action::Read),
+            EntityMatcher::new("entry", Pattern::Any),
+            EntityMatcher::new("asset", Pattern::Exact(asset.into())),
+        )
+    }
+
+    fn deny_write(id: &str, asset: &str) -> Rule {
+        Rule::new(
+            id,
+            Effect::Deny,
+            ActionSet::only(Action::Write),
+            EntityMatcher::new("entry", Pattern::Any),
+            EntityMatcher::new("asset", Pattern::Exact(asset.into())),
+        )
+    }
+
+    fn req(subject: &str, object: &str, action: Action) -> AccessRequest {
+        AccessRequest::new(
+            EntityId::parse(subject).unwrap(),
+            EntityId::parse(object).unwrap(),
+            action,
+        )
+    }
+
+    fn demo_engine(strategy: CombiningStrategy) -> PolicyEngine {
+        let p = Policy::new("demo", 1)
+            .add_rule(allow_read("r-read", "ecu"))
+            .unwrap()
+            .add_rule(deny_write("r-nowrite", "ecu"))
+            .unwrap();
+        PolicyEngine::from_policy(p).with_strategy(strategy)
+    }
+
+    #[test]
+    fn default_deny_when_no_rule_applies() {
+        let e = demo_engine(CombiningStrategy::DenyOverrides);
+        let d = e.decide(&req("entry:x", "asset:unknown", Action::Read), &EvalContext::new());
+        assert_eq!(d.effect(), Effect::Deny);
+        assert_eq!(d.rule(), None);
+        assert!(d.reason().contains("default"));
+    }
+
+    #[test]
+    fn allow_and_deny_paths() {
+        let e = demo_engine(CombiningStrategy::DenyOverrides);
+        let ctx = EvalContext::new();
+        assert!(e.decide(&req("entry:s", "asset:ecu", Action::Read), &ctx).is_allow());
+        let d = e.decide(&req("entry:s", "asset:ecu", Action::Write), &ctx);
+        assert_eq!(d.effect(), Effect::Deny);
+        assert_eq!(d.rule(), Some("demo.r-nowrite"));
+    }
+
+    #[test]
+    fn deny_overrides_beats_allow() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "allow-all",
+                    Effect::Allow,
+                    ActionSet::all(),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                ),
+            )
+            .unwrap()
+            .add_rule(
+                Rule::new(
+                    "deny-ecu-write",
+                    Effect::Deny,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::new("asset", Pattern::Exact("ecu".into())),
+                ),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let ctx = EvalContext::new();
+        assert!(e.decide(&req("entry:x", "asset:ecu", Action::Read), &ctx).is_allow());
+        assert!(!e.decide(&req("entry:x", "asset:ecu", Action::Write), &ctx).is_allow());
+    }
+
+    #[test]
+    fn first_match_order_matters() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "allow-first",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                ),
+            )
+            .unwrap()
+            .add_rule(deny_write("deny-later", "ecu"))
+            .unwrap();
+        let e = PolicyEngine::from_policy(p).with_strategy(CombiningStrategy::FirstMatch);
+        // first-match sees the allow first
+        let d = e.decide(&req("entry:x", "asset:ecu", Action::Write), &EvalContext::new());
+        assert!(d.is_allow());
+        assert_eq!(d.rule(), Some("p.allow-first"));
+    }
+
+    #[test]
+    fn priority_order_highest_wins_ties_deny() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "low-allow",
+                    Effect::Allow,
+                    ActionSet::only(Action::Read),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .with_priority(1),
+            )
+            .unwrap()
+            .add_rule(
+                Rule::new(
+                    "high-deny",
+                    Effect::Deny,
+                    ActionSet::only(Action::Read),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .with_priority(10),
+            )
+            .unwrap()
+            .add_rule(
+                Rule::new(
+                    "tie-allow",
+                    Effect::Allow,
+                    ActionSet::only(Action::Read),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .with_priority(10),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p).with_strategy(CombiningStrategy::PriorityOrder);
+        let d = e.decide(&req("entry:x", "asset:y", Action::Read), &EvalContext::new());
+        assert_eq!(d.effect(), Effect::Deny, "tie at priority 10 resolves to deny");
+        assert_eq!(d.rule(), Some("p.high-deny"));
+    }
+
+    #[test]
+    fn mode_conditions_gate_rules() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "diag-write",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::new("entry", Pattern::Exact("obd".into())),
+                    EntityMatcher::new("asset", Pattern::Exact("ecu".into())),
+                )
+                .when(Condition::InMode("remote diagnostic".into())),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let r = req("entry:obd", "asset:ecu", Action::Write);
+        assert!(!e.decide(&r, &EvalContext::new().with_mode("normal")).is_allow());
+        assert!(e
+            .decide(&r, &EvalContext::new().with_mode("remote diagnostic"))
+            .is_allow());
+    }
+
+    #[test]
+    fn rate_condition_with_tracker() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "rate-limited",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .when(Condition::RateAtMost { key: "w".into(), max_per_sec: 2 }),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let r = req("entry:x", "asset:y", Action::Write);
+        let ctx = EvalContext::new();
+        // two events within the window: still allowed
+        e.observe_rate_event("w", 1_000);
+        e.observe_rate_event("w", 2_000);
+        assert!(e.decide_at(&r, &ctx, 3_000).is_allow());
+        // third event pushes over the limit
+        e.observe_rate_event("w", 3_000);
+        assert!(!e.decide_at(&r, &ctx, 4_000).is_allow());
+        // a second later the window has drained
+        assert!(e.decide_at(&r, &ctx, 1_200_000).is_allow());
+    }
+
+    #[test]
+    fn index_and_linear_agree() {
+        // same decisions with indexing on and off
+        let mut p = Policy::new("p", 1);
+        for i in 0..50 {
+            p = p
+                .add_rule(
+                    Rule::new(
+                        format!("r{i}"),
+                        if i % 3 == 0 { Effect::Deny } else { Effect::Allow },
+                        ActionSet::only(Action::Read),
+                        EntityMatcher::new("entry", Pattern::Exact(format!("s{i}"))),
+                        EntityMatcher::anything(),
+                    ),
+                )
+                .unwrap();
+        }
+        let set = PolicySet::from_policy(p);
+        let indexed = PolicyEngine::new(set.clone());
+        let linear = PolicyEngine::new(set).with_indexing(false);
+        let ctx = EvalContext::new();
+        for i in 0..50 {
+            let r = req(&format!("entry:s{i}"), "asset:x", Action::Read);
+            assert_eq!(
+                indexed.decide(&r, &ctx).effect(),
+                linear.decide(&r, &ctx).effect(),
+                "rule {i}"
+            );
+        }
+        // index examines far fewer rules
+        assert!(indexed.stats().rules_examined < linear.stats().rules_examined / 10);
+    }
+
+    #[test]
+    fn stats_and_audit_populate() {
+        let e = demo_engine(CombiningStrategy::DenyOverrides);
+        let ctx = EvalContext::new();
+        e.decide(&req("entry:a", "asset:ecu", Action::Read), &ctx);
+        e.decide(&req("entry:a", "asset:ecu", Action::Write), &ctx);
+        let s = e.stats();
+        assert_eq!(s.decisions, 2);
+        assert_eq!(s.allows, 1);
+        assert_eq!(s.denies, 1);
+        e.with_audit(|log| {
+            assert_eq!(log.len(), 2);
+            assert_eq!(log.denies(), 1);
+        });
+    }
+
+    #[test]
+    fn reload_swaps_policies() {
+        let mut e = demo_engine(CombiningStrategy::DenyOverrides);
+        let r = req("entry:a", "asset:ecu", Action::Write);
+        assert!(!e.decide(&r, &EvalContext::new()).is_allow());
+        // new policy version allows writes
+        let p2 = Policy::new("demo", 2)
+            .add_rule(
+                Rule::new(
+                    "r-write",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                ),
+            )
+            .unwrap();
+        e.reload(PolicySet::from_policy(p2));
+        assert!(e.decide(&r, &EvalContext::new()).is_allow());
+        // audit survives the reload
+        e.with_audit(|log| assert_eq!(log.len(), 2));
+    }
+
+    #[test]
+    fn merge_sorted_interleaves() {
+        assert_eq!(merge_sorted(&[1, 4, 6], &[2, 3, 5]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(merge_sorted(&[], &[1]), vec![1]);
+        assert_eq!(merge_sorted(&[1], &[]), vec![1]);
+        assert_eq!(merge_sorted(&[], &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PolicyEngine>();
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(CombiningStrategy::DenyOverrides.to_string(), "deny-overrides");
+        assert_eq!(CombiningStrategy::FirstMatch.to_string(), "first-match");
+        assert_eq!(CombiningStrategy::PriorityOrder.to_string(), "priority-order");
+    }
+}

@@ -1,0 +1,172 @@
+//! Access requests and evaluation contexts.
+
+use crate::action::Action;
+use crate::entity::EntityId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One access request: *subject* wants to perform *action* on *object*.
+///
+/// # Example
+/// ```
+/// use polsec_core::{AccessRequest, Action, EntityId};
+/// let r = AccessRequest::new(
+///     EntityId::new("entry", "telematics"),
+///     EntityId::new("asset", "door-locks"),
+///     Action::Write,
+/// );
+/// assert_eq!(r.to_string(), "entry:telematics --write--> asset:door-locks");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessRequest {
+    subject: EntityId,
+    object: EntityId,
+    action: Action,
+}
+
+impl AccessRequest {
+    /// Creates a request.
+    pub fn new(subject: EntityId, object: EntityId, action: Action) -> Self {
+        AccessRequest { subject, object, action }
+    }
+
+    /// The requesting entity.
+    pub fn subject(&self) -> &EntityId {
+        &self.subject
+    }
+
+    /// The target entity.
+    pub fn object(&self) -> &EntityId {
+        &self.object
+    }
+
+    /// The requested action.
+    pub fn action(&self) -> Action {
+        self.action
+    }
+}
+
+impl fmt::Display for AccessRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.subject, self.action, self.object)
+    }
+}
+
+/// The situational context a request is evaluated in: operating mode, named
+/// state variables and rate counters.
+///
+/// Contexts are cheap to clone and carry no interior mutability; stateful
+/// tracking (rates over time) is the engine's job, which *writes* computed
+/// rates into the context before rule evaluation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EvalContext {
+    mode: Option<String>,
+    state: BTreeMap<String, String>,
+    rates: BTreeMap<String, f64>,
+}
+
+impl EvalContext {
+    /// Creates an empty context (no mode, no state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the operating mode (builder style).
+    pub fn with_mode(mut self, mode: impl Into<String>) -> Self {
+        self.mode = Some(mode.into());
+        self
+    }
+
+    /// Sets a state variable (builder style).
+    pub fn with_state(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.state.insert(key.into(), value.into());
+        self
+    }
+
+    /// The current operating mode, if set.
+    pub fn mode(&self) -> Option<&str> {
+        self.mode.as_deref()
+    }
+
+    /// Changes the operating mode in place.
+    pub fn set_mode(&mut self, mode: impl Into<String>) {
+        self.mode = Some(mode.into());
+    }
+
+    /// Reads a state variable.
+    pub fn state(&self, key: &str) -> Option<&str> {
+        self.state.get(key).map(|s| s.as_str())
+    }
+
+    /// Writes a state variable in place.
+    pub fn set_state(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.state.insert(key.into(), value.into());
+    }
+
+    /// The tracked rate for a key (0.0 when unknown).
+    pub fn rate_per_sec(&self, key: &str) -> f64 {
+        self.rates.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Writes a computed rate (done by the engine's rate tracker).
+    pub fn set_rate(&mut self, key: impl Into<String>, per_sec: f64) {
+        self.rates.insert(key.into(), per_sec);
+    }
+}
+
+impl fmt::Display for EvalContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mode={}", self.mode.as_deref().unwrap_or("-"))?;
+        for (k, v) in &self.state {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let r = AccessRequest::new(
+            EntityId::new("a", "s"),
+            EntityId::new("b", "o"),
+            Action::Read,
+        );
+        assert_eq!(r.subject().name(), "s");
+        assert_eq!(r.object().namespace(), "b");
+        assert_eq!(r.action(), Action::Read);
+    }
+
+    #[test]
+    fn context_builders_and_mutators() {
+        let mut ctx = EvalContext::new()
+            .with_mode("normal")
+            .with_state("doors", "locked");
+        assert_eq!(ctx.mode(), Some("normal"));
+        assert_eq!(ctx.state("doors"), Some("locked"));
+        assert_eq!(ctx.state("missing"), None);
+        ctx.set_mode("fail-safe");
+        ctx.set_state("doors", "open");
+        assert_eq!(ctx.mode(), Some("fail-safe"));
+        assert_eq!(ctx.state("doors"), Some("open"));
+    }
+
+    #[test]
+    fn rates_default_zero() {
+        let mut ctx = EvalContext::new();
+        assert_eq!(ctx.rate_per_sec("x"), 0.0);
+        ctx.set_rate("x", 2.5);
+        assert_eq!(ctx.rate_per_sec("x"), 2.5);
+    }
+
+    #[test]
+    fn displays() {
+        let ctx = EvalContext::new().with_mode("m").with_state("k", "v");
+        assert_eq!(ctx.to_string(), "mode=m k=v");
+        assert_eq!(EvalContext::new().to_string(), "mode=-");
+    }
+}

@@ -1,0 +1,271 @@
+//! Device-side policy store with signed updates and rollback.
+//!
+//! [`DevicePolicyStore`] models the on-device half of the paper's update
+//! mechanism: it holds the active [`PolicySet`] and its version, accepts
+//! [`SignedBundle`]s (verifying authenticity and version monotonicity),
+//! keeps the previous set for one-step rollback, and records an update
+//! history for audit.
+
+use crate::bundle::SignedBundle;
+use crate::error::PolicyError;
+use crate::policy::PolicySet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One entry in the device's update history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// Version installed by this event.
+    pub version: u64,
+    /// What happened.
+    pub outcome: UpdateOutcome,
+    /// The bundle's stated rationale (empty for rollbacks).
+    pub rationale: String,
+}
+
+/// Result classification for an update attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateOutcome {
+    /// The bundle verified and was installed.
+    Applied,
+    /// The bundle's signature failed verification.
+    RejectedSignature,
+    /// The bundle did not advance the version.
+    RejectedStale,
+    /// The payload did not decode.
+    RejectedMalformed,
+    /// A rollback to the previous version.
+    RolledBack,
+}
+
+impl fmt::Display for UpdateOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UpdateOutcome::Applied => "applied",
+            UpdateOutcome::RejectedSignature => "rejected (signature)",
+            UpdateOutcome::RejectedStale => "rejected (stale version)",
+            UpdateOutcome::RejectedMalformed => "rejected (malformed)",
+            UpdateOutcome::RolledBack => "rolled back",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The on-device policy store.
+///
+/// # Example
+/// ```
+/// use polsec_core::{DevicePolicyStore, PolicyBundle, Policy, PolicySet};
+///
+/// let key = b"oem-key".to_vec();
+/// let mut store = DevicePolicyStore::new(PolicySet::new(), key.clone());
+/// let bundle = PolicyBundle::new(1, "initial provisioning", vec![Policy::new("base", 1)]);
+/// store.apply(&bundle.sign(&key))?;
+/// assert_eq!(store.version(), 1);
+/// # Ok::<(), polsec_core::PolicyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DevicePolicyStore {
+    active: PolicySet,
+    version: u64,
+    previous: Option<(PolicySet, u64)>,
+    key: Vec<u8>,
+    history: Vec<UpdateRecord>,
+}
+
+impl DevicePolicyStore {
+    /// Creates a store with a factory policy set at version 0 and the OEM
+    /// verification key.
+    pub fn new(factory: PolicySet, key: Vec<u8>) -> Self {
+        DevicePolicyStore {
+            active: factory,
+            version: 0,
+            previous: None,
+            key,
+            history: Vec::new(),
+        }
+    }
+
+    /// The active policy set.
+    pub fn active(&self) -> &PolicySet {
+        &self.active
+    }
+
+    /// The active version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The update history, oldest first.
+    pub fn history(&self) -> &[UpdateRecord] {
+        &self.history
+    }
+
+    /// Applies a signed bundle: verifies the signature, requires the version
+    /// to strictly advance, retains the outgoing set for rollback.
+    ///
+    /// # Errors
+    /// [`PolicyError::BadSignature`], [`PolicyError::StaleVersion`] or
+    /// [`PolicyError::MalformedBundle`]; every rejection is also recorded in
+    /// the history.
+    pub fn apply(&mut self, signed: &SignedBundle) -> Result<(), PolicyError> {
+        let bundle = match signed.verify(&self.key) {
+            Ok(b) => b,
+            Err(e) => {
+                let outcome = match &e {
+                    PolicyError::BadSignature => UpdateOutcome::RejectedSignature,
+                    PolicyError::MalformedBundle { .. } => UpdateOutcome::RejectedMalformed,
+                    _ => UpdateOutcome::RejectedMalformed,
+                };
+                self.history.push(UpdateRecord {
+                    version: self.version,
+                    outcome,
+                    rationale: String::new(),
+                });
+                return Err(e);
+            }
+        };
+        if bundle.version <= self.version {
+            self.history.push(UpdateRecord {
+                version: self.version,
+                outcome: UpdateOutcome::RejectedStale,
+                rationale: bundle.rationale.clone(),
+            });
+            return Err(PolicyError::StaleVersion {
+                current: self.version,
+                offered: bundle.version,
+            });
+        }
+        let incoming: PolicySet = bundle.policies.iter().cloned().collect();
+        let outgoing = std::mem::replace(&mut self.active, incoming);
+        self.previous = Some((outgoing, self.version));
+        self.version = bundle.version;
+        self.history.push(UpdateRecord {
+            version: bundle.version,
+            outcome: UpdateOutcome::Applied,
+            rationale: bundle.rationale,
+        });
+        Ok(())
+    }
+
+    /// Rolls back to the previous policy set (one step).
+    ///
+    /// # Errors
+    /// [`PolicyError::NothingToRollBack`] when no previous set is retained.
+    pub fn rollback(&mut self) -> Result<(), PolicyError> {
+        let (prev_set, prev_version) = self.previous.take().ok_or(PolicyError::NothingToRollBack)?;
+        self.active = prev_set;
+        self.version = prev_version;
+        self.history.push(UpdateRecord {
+            version: prev_version,
+            outcome: UpdateOutcome::RolledBack,
+            rationale: String::new(),
+        });
+        Ok(())
+    }
+
+    /// Whether a rollback target exists.
+    pub fn can_rollback(&self) -> bool {
+        self.previous.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::PolicyBundle;
+    use crate::policy::Policy;
+
+    const KEY: &[u8] = b"device-key";
+
+    fn store() -> DevicePolicyStore {
+        DevicePolicyStore::new(PolicySet::new(), KEY.to_vec())
+    }
+
+    fn bundle(version: u64, name: &str) -> PolicyBundle {
+        PolicyBundle::new(version, format!("update {version}"), vec![Policy::new(name, version)])
+    }
+
+    #[test]
+    fn apply_advances_version_and_set() {
+        let mut s = store();
+        s.apply(&bundle(1, "a").sign(KEY)).unwrap();
+        assert_eq!(s.version(), 1);
+        assert!(s.active().policy("a").is_some());
+        s.apply(&bundle(2, "b").sign(KEY)).unwrap();
+        assert_eq!(s.version(), 2);
+        assert!(s.active().policy("b").is_some());
+        assert!(s.active().policy("a").is_none(), "bundle replaces the set");
+    }
+
+    #[test]
+    fn stale_and_equal_versions_rejected() {
+        let mut s = store();
+        s.apply(&bundle(5, "a").sign(KEY)).unwrap();
+        let err = s.apply(&bundle(5, "b").sign(KEY)).unwrap_err();
+        assert_eq!(err, PolicyError::StaleVersion { current: 5, offered: 5 });
+        let err = s.apply(&bundle(4, "b").sign(KEY)).unwrap_err();
+        assert_eq!(err, PolicyError::StaleVersion { current: 5, offered: 4 });
+        assert_eq!(s.version(), 5, "rejections leave the store unchanged");
+    }
+
+    #[test]
+    fn bad_signature_rejected_and_recorded() {
+        let mut s = store();
+        let forged = bundle(1, "a").sign(b"attacker-key");
+        assert_eq!(s.apply(&forged).unwrap_err(), PolicyError::BadSignature);
+        assert_eq!(s.version(), 0);
+        assert_eq!(
+            s.history().last().unwrap().outcome,
+            UpdateOutcome::RejectedSignature
+        );
+    }
+
+    #[test]
+    fn tampered_bundle_rejected() {
+        let mut s = store();
+        let signed = bundle(1, "a").sign(KEY);
+        assert_eq!(s.apply(&signed.tampered()).unwrap_err(), PolicyError::BadSignature);
+    }
+
+    #[test]
+    fn rollback_restores_previous() {
+        let mut s = store();
+        s.apply(&bundle(1, "a").sign(KEY)).unwrap();
+        s.apply(&bundle(2, "b").sign(KEY)).unwrap();
+        assert!(s.can_rollback());
+        s.rollback().unwrap();
+        assert_eq!(s.version(), 1);
+        assert!(s.active().policy("a").is_some());
+        // only one step retained
+        assert!(!s.can_rollback());
+        assert_eq!(s.rollback().unwrap_err(), PolicyError::NothingToRollBack);
+    }
+
+    #[test]
+    fn history_records_everything() {
+        let mut s = store();
+        s.apply(&bundle(1, "a").sign(KEY)).unwrap();
+        let _ = s.apply(&bundle(1, "b").sign(KEY));
+        let _ = s.apply(&bundle(2, "c").sign(b"bad-key"));
+        s.apply(&bundle(2, "c").sign(KEY)).unwrap();
+        s.rollback().unwrap();
+        let outcomes: Vec<UpdateOutcome> = s.history().iter().map(|r| r.outcome).collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                UpdateOutcome::Applied,
+                UpdateOutcome::RejectedStale,
+                UpdateOutcome::RejectedSignature,
+                UpdateOutcome::Applied,
+                UpdateOutcome::RolledBack,
+            ]
+        );
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(UpdateOutcome::Applied.to_string(), "applied");
+        assert_eq!(UpdateOutcome::RejectedStale.to_string(), "rejected (stale version)");
+    }
+}

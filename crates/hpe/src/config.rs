@@ -1,0 +1,352 @@
+//! Compiling policies into hardware filter tables.
+//!
+//! The OEM derives policies with `polsec-core`; this module lowers the
+//! CAN-facing subset into the HPE's approved lists:
+//!
+//! * `allow read/write on can:<id>` → an exact id entry,
+//! * `allow … on can:0xLO-0xHI` → a **minimal id/mask cover** of the range
+//!   ([`synthesize_id_mask_cover`] — the aligned-power-of-two decomposition
+//!   used when programming real filter banks),
+//! * `allow … on can:*` → a match-all entry,
+//! * mode-conditioned rules are included only when their mode matches the
+//!   configured mode (the HPE is reprogrammed on mode transitions),
+//! * anything a whitelist cannot express (deny rules on `can:`, prefix
+//!   patterns, non-numeric ids, state/rate conditions) is rejected loudly
+//!   rather than silently dropped.
+
+use crate::error::HpeError;
+use crate::lists::ApprovedLists;
+use polsec_core::{Action, Condition, Effect, Pattern, Policy};
+use polsec_can::AcceptanceFilter;
+
+/// Mask of valid bits in a standard (11-bit) CAN identifier.
+const STD_MASK: u32 = 0x7FF;
+
+/// Decomposes the inclusive range `[lo, hi]` into a minimal list of
+/// `(id, mask)` pairs over an 11-bit space, where each pair covers the
+/// aligned block `{ x : x & mask == id }`.
+///
+/// The greedy aligned-block decomposition is optimal for interval covers by
+/// power-of-two blocks: at each step it takes the largest block that starts
+/// at `lo`, is naturally aligned, and does not overshoot `hi`.
+///
+/// # Example
+/// ```
+/// use polsec_hpe::synthesize_id_mask_cover;
+/// // 0x100..=0x1FF is one aligned 256-block
+/// assert_eq!(synthesize_id_mask_cover(0x100, 0x1FF), vec![(0x100, 0x700)]);
+/// // 0x101..=0x102 needs two singleton entries
+/// assert_eq!(
+///     synthesize_id_mask_cover(0x101, 0x102),
+///     vec![(0x101, 0x7FF), (0x102, 0x7FF)]
+/// );
+/// ```
+pub fn synthesize_id_mask_cover(lo: u32, hi: u32) -> Vec<(u32, u32)> {
+    let (lo, hi) = (lo.min(STD_MASK), hi.min(STD_MASK));
+    if lo > hi {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut cur = lo;
+    loop {
+        // Largest power-of-two block aligned at `cur` that fits in [cur, hi].
+        let mut size: u32 = 1;
+        while cur % (size * 2) == 0 && cur + (size * 2 - 1) <= hi && size * 2 <= STD_MASK + 1 {
+            size *= 2;
+        }
+        out.push((cur, STD_MASK & !(size - 1)));
+        match cur.checked_add(size) {
+            Some(next) if next <= hi => cur = next,
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Whether a rule condition admits inclusion at the given operating mode.
+///
+/// Returns `Ok(true)` / `Ok(false)` for conditions the stateless hardware
+/// can resolve at configuration time, `Err` for conditions it cannot
+/// (state, rate, negation, conjunction).
+fn condition_admits(cond: &Condition, mode: Option<&str>) -> Result<bool, String> {
+    match cond {
+        Condition::Always => Ok(true),
+        Condition::InMode(m) => Ok(mode == Some(m.as_str())),
+        Condition::AnyOf(cs) => {
+            let mut any = false;
+            for c in cs {
+                any |= condition_admits(c, mode)?;
+            }
+            Ok(any)
+        }
+        other => Err(format!("condition '{other}' is not resolvable in hardware")),
+    }
+}
+
+/// Compiles the CAN-facing rules of `policy` into approved lists for a node
+/// operating in `mode`.
+///
+/// Only rules whose **object** namespace is `can` participate; rules about
+/// other namespaces (assets, processes) are the software engine's business
+/// and are skipped.
+///
+/// # Errors
+/// [`HpeError::UnsupportedRule`] for deny rules on `can:`, non-numeric or
+/// prefix patterns, or conditions hardware cannot resolve;
+/// [`HpeError::ListFull`] when the cover exceeds `capacity`.
+pub fn compile_policy_to_lists(
+    policy: &Policy,
+    mode: Option<&str>,
+    capacity: usize,
+) -> Result<ApprovedLists, HpeError> {
+    let mut lists = ApprovedLists::with_capacity(capacity);
+    for rule in policy.rules() {
+        let object = rule.object();
+        if object.namespace() != Some("can") {
+            continue;
+        }
+        if rule.effect() == Effect::Deny {
+            return Err(HpeError::UnsupportedRule {
+                rule: rule.id().to_string(),
+                reason: "whitelist hardware cannot express deny rules on can ids; \
+                         restructure as allows"
+                    .into(),
+            });
+        }
+        let included = condition_admits(rule.condition(), mode).map_err(|reason| {
+            HpeError::UnsupportedRule {
+                rule: rule.id().to_string(),
+                reason,
+            }
+        })?;
+        if !included {
+            continue;
+        }
+        let entries = pattern_entries(rule.id(), object.pattern())?;
+        for action in [Action::Read, Action::Write] {
+            if !rule.actions().contains(action) {
+                continue;
+            }
+            for e in &entries {
+                match action {
+                    Action::Read => lists.add_read_entry(*e)?,
+                    Action::Write => lists.add_write_entry(*e)?,
+                    _ => unreachable!("loop only visits read/write"),
+                }
+            }
+        }
+    }
+    Ok(lists)
+}
+
+fn pattern_entries(rule_id: &str, pattern: &Pattern) -> Result<Vec<AcceptanceFilter>, HpeError> {
+    match pattern {
+        Pattern::Any => Ok(vec![AcceptanceFilter::standard(0, 0)]),
+        Pattern::Exact(name) => {
+            let id = parse_can_id(name).ok_or_else(|| HpeError::UnsupportedRule {
+                rule: rule_id.to_string(),
+                reason: format!("'{name}' is not a numeric can id"),
+            })?;
+            Ok(vec![AcceptanceFilter::standard(id, STD_MASK)])
+        }
+        Pattern::IdRange { lo, hi } => Ok(synthesize_id_mask_cover(*lo, *hi)
+            .into_iter()
+            .map(|(id, mask)| AcceptanceFilter::standard(id, mask))
+            .collect()),
+        Pattern::Prefix(p) => Err(HpeError::UnsupportedRule {
+            rule: rule_id.to_string(),
+            reason: format!("prefix pattern '{p}*' has no id/mask encoding"),
+        }),
+    }
+}
+
+fn parse_can_id(s: &str) -> Option<u32> {
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse().ok()?
+    };
+    (v <= STD_MASK).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polsec_can::CanId;
+    use polsec_core::dsl::parse_policy;
+
+    fn covered_ids(pairs: &[(u32, u32)]) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..=STD_MASK)
+            .filter(|x| pairs.iter().any(|(id, mask)| x & mask == id & mask))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn cover_exactness_on_samples() {
+        for (lo, hi) in [(0u32, 0u32), (5, 5), (0, 0x7FF), (0x100, 0x1FF), (3, 17), (0x7F0, 0x7FF)]
+        {
+            let pairs = synthesize_id_mask_cover(lo, hi);
+            let expect: Vec<u32> = (lo..=hi).collect();
+            assert_eq!(covered_ids(&pairs), expect, "range 0x{lo:X}-0x{hi:X}");
+        }
+    }
+
+    #[test]
+    fn cover_is_minimal_for_aligned_blocks() {
+        assert_eq!(synthesize_id_mask_cover(0, 0x7FF).len(), 1);
+        assert_eq!(synthesize_id_mask_cover(0x100, 0x1FF).len(), 1);
+        assert_eq!(synthesize_id_mask_cover(0x100, 0x17F).len(), 1);
+    }
+
+    #[test]
+    fn cover_worst_case_is_bounded() {
+        // worst case for an 11-bit space is ≤ 2*11 entries
+        for (lo, hi) in [(1u32, 0x7FE), (3, 0x7FD)] {
+            let pairs = synthesize_id_mask_cover(lo, hi);
+            assert!(pairs.len() <= 22, "{} entries", pairs.len());
+            let expect: Vec<u32> = (lo..=hi).collect();
+            assert_eq!(covered_ids(&pairs), expect);
+        }
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        assert!(synthesize_id_mask_cover(5, 3).is_empty());
+    }
+
+    #[test]
+    fn compile_exact_and_range_rules() {
+        let p = parse_policy(
+            r#"policy "hpe" version 1 {
+                allow read on can:0x100 from *:*;
+                allow write on can:0x200-0x20F from *:*;
+                allow read, write on can:0x300 from *:*;
+            }"#,
+        )
+        .unwrap();
+        let lists = compile_policy_to_lists(&p, None, 16).unwrap();
+        let sid = |v| CanId::standard(v).unwrap();
+        assert!(lists.read().approves(sid(0x100)));
+        assert!(!lists.write().approves(sid(0x100)));
+        assert!(lists.write().approves(sid(0x205)));
+        assert!(!lists.write().approves(sid(0x210)));
+        assert!(lists.read().approves(sid(0x300)));
+        assert!(lists.write().approves(sid(0x300)));
+    }
+
+    #[test]
+    fn non_can_rules_are_skipped() {
+        let p = parse_policy(
+            r#"policy "mixed" version 1 {
+                allow read on asset:ev-ecu from entry:sensors;
+                allow read on can:0x10 from *:*;
+            }"#,
+        )
+        .unwrap();
+        let lists = compile_policy_to_lists(&p, None, 16).unwrap();
+        assert_eq!(lists.read().len(), 1);
+    }
+
+    #[test]
+    fn deny_rules_on_can_are_rejected() {
+        let p = parse_policy(
+            r#"policy "bad" version 1 {
+                deny write on can:0x100 from *:*;
+            }"#,
+        )
+        .unwrap();
+        let err = compile_policy_to_lists(&p, None, 16).unwrap_err();
+        assert!(matches!(err, HpeError::UnsupportedRule { .. }));
+    }
+
+    #[test]
+    fn prefix_and_symbolic_patterns_rejected() {
+        let p = parse_policy(
+            r#"policy "bad" version 1 {
+                allow read on can:engine from *:*;
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            compile_policy_to_lists(&p, None, 16),
+            Err(HpeError::UnsupportedRule { .. })
+        ));
+        let p2 = parse_policy(
+            r#"policy "bad2" version 1 {
+                allow read on can:0x1* from *:*;
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            compile_policy_to_lists(&p2, None, 16),
+            Err(HpeError::UnsupportedRule { .. })
+        ));
+    }
+
+    #[test]
+    fn mode_conditions_resolve_at_config_time() {
+        let p = parse_policy(
+            r#"policy "modal" version 1 {
+                allow read on can:0x10 from *:* when mode == normal;
+                allow read on can:0x20 from *:* when mode == fail-safe;
+                allow read on can:0x30 from *:* when mode == normal || mode == fail-safe;
+            }"#,
+        )
+        .unwrap();
+        let sid = |v| CanId::standard(v).unwrap();
+        let normal = compile_policy_to_lists(&p, Some("normal"), 16).unwrap();
+        assert!(normal.read().approves(sid(0x10)));
+        assert!(!normal.read().approves(sid(0x20)));
+        assert!(normal.read().approves(sid(0x30)));
+        let failsafe = compile_policy_to_lists(&p, Some("fail-safe"), 16).unwrap();
+        assert!(!failsafe.read().approves(sid(0x10)));
+        assert!(failsafe.read().approves(sid(0x20)));
+        assert!(failsafe.read().approves(sid(0x30)));
+        // no mode: only unconditional rules would apply (here none)
+        let none = compile_policy_to_lists(&p, None, 16).unwrap();
+        assert!(none.read().is_empty());
+    }
+
+    #[test]
+    fn stateful_conditions_rejected() {
+        let p = parse_policy(
+            r#"policy "stateful" version 1 {
+                allow read on can:0x10 from *:* when rate(x) <= 5;
+            }"#,
+        )
+        .unwrap();
+        let err = compile_policy_to_lists(&p, None, 16).unwrap_err();
+        assert!(matches!(err, HpeError::UnsupportedRule { .. }));
+        assert!(err.to_string().contains("hardware"));
+    }
+
+    #[test]
+    fn capacity_overflow_reported() {
+        // a worst-case range cover exceeding 4 entries
+        let p = parse_policy(
+            r#"policy "wide" version 1 {
+                allow read on can:0x001-0x7FE from *:*;
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            compile_policy_to_lists(&p, None, 4),
+            Err(HpeError::ListFull { capacity: 4 })
+        ));
+    }
+
+    #[test]
+    fn wildcard_compiles_to_match_all() {
+        let p = parse_policy(
+            r#"policy "open" version 1 {
+                allow read on can:* from *:*;
+            }"#,
+        )
+        .unwrap();
+        let lists = compile_policy_to_lists(&p, None, 4).unwrap();
+        assert!(lists.read().approves(CanId::standard(0x7FF).unwrap()));
+        assert!(lists.read().approves(CanId::standard(0).unwrap()));
+    }
+}

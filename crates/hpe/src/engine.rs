@@ -1,0 +1,347 @@
+//! The complete hardware policy engine.
+//!
+//! [`HardwarePolicyEngine`] wires the approved lists and decision block into
+//! `polsec-can`'s [`Interposer`] seam. It is a cheap clone-able handle over
+//! shared state: one clone is boxed into the [`CanNode`](polsec_can::CanNode)
+//! as the in-line filter, while the OEM keeps another clone as the
+//! *maintenance port* for telemetry and signed configuration updates.
+//! Firmware code has neither — the [`Firmware`](polsec_can::Firmware) trait
+//! offers no path to the interposer, and the engine's only mutating entry
+//! points are [`apply_signed_config`](HardwarePolicyEngine::apply_signed_config)
+//! (requires the OEM key) and
+//! [`firmware_attempt_reconfigure`](HardwarePolicyEngine::firmware_attempt_reconfigure)
+//! (always fails, modelling the tamper-resistance of the hardware block).
+
+use crate::config::compile_policy_to_lists;
+use crate::decision::DecisionBlock;
+use crate::error::HpeError;
+use crate::lists::ApprovedLists;
+use crate::telemetry::HpeTelemetry;
+use polsec_can::node::{InterposeVerdict, Interposer};
+use polsec_can::CanFrame;
+use polsec_core::SignedBundle;
+use polsec_sim::SimTime;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    label: String,
+    lists: ApprovedLists,
+    block: DecisionBlock,
+    telemetry: HpeTelemetry,
+    config_version: u64,
+    oem_key: Option<Vec<u8>>,
+}
+
+/// The hardware policy engine of Fig. 4. See the module docs.
+#[derive(Debug, Clone)]
+pub struct HardwarePolicyEngine {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl HardwarePolicyEngine {
+    /// Creates an engine with a static configuration and no update key
+    /// (field updates disabled).
+    pub fn new(label: impl Into<String>, lists: ApprovedLists) -> Self {
+        HardwarePolicyEngine {
+            inner: Arc::new(Mutex::new(Inner {
+                label: label.into(),
+                lists,
+                block: DecisionBlock::default(),
+                telemetry: HpeTelemetry::new(),
+                config_version: 0,
+                oem_key: None,
+            })),
+        }
+    }
+
+    /// Provisions the OEM verification key, enabling signed configuration
+    /// updates (builder style; done at manufacture).
+    pub fn with_oem_key(self, key: Vec<u8>) -> Self {
+        self.lock().oem_key = Some(key);
+        self
+    }
+
+    /// Overrides the decision block's cost model (builder style).
+    pub fn with_decision_block(self, block: DecisionBlock) -> Self {
+        self.lock().block = block;
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Poisoning can only arise from a panic inside another lock holder;
+        // recover the data rather than propagating the poison.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The engine's label.
+    pub fn label(&self) -> String {
+        self.lock().label.clone()
+    }
+
+    /// Snapshot of the telemetry counters.
+    pub fn telemetry(&self) -> HpeTelemetry {
+        self.lock().telemetry.clone()
+    }
+
+    /// The active configuration version.
+    pub fn config_version(&self) -> u64 {
+        self.lock().config_version
+    }
+
+    /// Snapshot of the approved lists (for inspection/diagnostics).
+    pub fn lists(&self) -> ApprovedLists {
+        self.lock().lists.clone()
+    }
+
+    /// The path compromised firmware would have to use: an unauthenticated
+    /// reconfiguration request. It **always fails** and is counted.
+    ///
+    /// # Errors
+    /// Always [`HpeError::TamperRejected`].
+    pub fn firmware_attempt_reconfigure(&self) -> Result<(), HpeError> {
+        let mut inner = self.lock();
+        inner.telemetry.tamper_attempts += 1;
+        Err(HpeError::TamperRejected)
+    }
+
+    /// Applies an OEM-signed policy bundle: verifies the signature, requires
+    /// the version to advance, compiles the bundle's policies for `mode`
+    /// into fresh lists (preserving hardware capacity), then swaps them in.
+    ///
+    /// # Errors
+    /// [`HpeError::ConfigRejected`] for missing key / bad signature / stale
+    /// version; [`HpeError::UnsupportedRule`] / [`HpeError::ListFull`] if
+    /// the bundle does not fit the hardware.
+    pub fn apply_signed_config(
+        &self,
+        bundle: &SignedBundle,
+        mode: Option<&str>,
+    ) -> Result<(), HpeError> {
+        let mut inner = self.lock();
+        let key = inner.oem_key.clone().ok_or_else(|| HpeError::ConfigRejected {
+            reason: "no oem key provisioned".into(),
+        })?;
+        let verified = bundle.verify(&key).map_err(|e| HpeError::ConfigRejected {
+            reason: e.to_string(),
+        })?;
+        if verified.version <= inner.config_version {
+            return Err(HpeError::ConfigRejected {
+                reason: format!(
+                    "version {} does not advance current {}",
+                    verified.version, inner.config_version
+                ),
+            });
+        }
+        let capacity = inner.lists.read().capacity();
+        let mut combined = ApprovedLists::with_capacity(capacity);
+        for policy in &verified.policies {
+            let lists = compile_policy_to_lists(policy, mode, capacity)?;
+            for e in lists.read().entries() {
+                combined.add_read_entry(*e)?;
+            }
+            for e in lists.write().entries() {
+                combined.add_write_entry(*e)?;
+            }
+        }
+        inner.lists.clear();
+        inner.lists = combined;
+        inner.config_version = verified.version;
+        Ok(())
+    }
+}
+
+impl Interposer for HardwarePolicyEngine {
+    fn on_ingress(&mut self, _now: SimTime, frame: &CanFrame) -> InterposeVerdict {
+        let mut inner = self.lock();
+        let verdict = inner.block.decide(inner.lists.read(), frame.id());
+        inner.telemetry.total_cycles += verdict.cycles as u64;
+        if verdict.granted {
+            inner.telemetry.read_granted += 1;
+            InterposeVerdict::Grant
+        } else {
+            inner.telemetry.read_blocked += 1;
+            inner.telemetry.note_block(frame.id().raw());
+            InterposeVerdict::Block
+        }
+    }
+
+    fn on_egress(&mut self, _now: SimTime, frame: &CanFrame) -> InterposeVerdict {
+        let mut inner = self.lock();
+        let verdict = inner.block.decide(inner.lists.write(), frame.id());
+        inner.telemetry.total_cycles += verdict.cycles as u64;
+        if verdict.granted {
+            inner.telemetry.write_granted += 1;
+            InterposeVerdict::Grant
+        } else {
+            inner.telemetry.write_blocked += 1;
+            inner.telemetry.note_block(frame.id().raw());
+            InterposeVerdict::Block
+        }
+    }
+
+    fn label(&self) -> &str {
+        "hpe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polsec_core::dsl::parse_policy;
+    use polsec_core::PolicyBundle;
+    use polsec_can::{CanBus, CanId, CanNode};
+
+    const KEY: &[u8] = b"oem-hpe-key";
+
+    fn sid(v: u32) -> CanId {
+        CanId::standard(v).unwrap()
+    }
+
+    fn frame(id: u32) -> CanFrame {
+        CanFrame::data(sid(id), &[0xEE]).unwrap()
+    }
+
+    fn engine_allowing(read: &[u32], write: &[u32]) -> HardwarePolicyEngine {
+        let mut lists = ApprovedLists::with_capacity(16);
+        for &id in read {
+            lists.allow_read(sid(id)).unwrap();
+        }
+        for &id in write {
+            lists.allow_write(sid(id)).unwrap();
+        }
+        HardwarePolicyEngine::new("test-hpe", lists)
+    }
+
+    #[test]
+    fn ingress_filtering_and_telemetry() {
+        let mut hpe = engine_allowing(&[0x100], &[]);
+        assert_eq!(hpe.on_ingress(SimTime::ZERO, &frame(0x100)), InterposeVerdict::Grant);
+        assert_eq!(hpe.on_ingress(SimTime::ZERO, &frame(0x200)), InterposeVerdict::Block);
+        let t = hpe.telemetry();
+        assert_eq!(t.read_granted, 1);
+        assert_eq!(t.read_blocked, 1);
+        assert!(t.total_cycles > 0);
+        assert_eq!(t.top_blocked_id(), Some((0x200, 1)));
+    }
+
+    #[test]
+    fn egress_filtering_is_separate() {
+        let mut hpe = engine_allowing(&[0x100], &[0x300]);
+        assert_eq!(hpe.on_egress(SimTime::ZERO, &frame(0x300)), InterposeVerdict::Grant);
+        // read-approved but not write-approved
+        assert_eq!(hpe.on_egress(SimTime::ZERO, &frame(0x100)), InterposeVerdict::Block);
+        let t = hpe.telemetry();
+        assert_eq!(t.write_granted, 1);
+        assert_eq!(t.write_blocked, 1);
+    }
+
+    #[test]
+    fn firmware_reconfigure_always_rejected_and_counted() {
+        let hpe = engine_allowing(&[], &[]);
+        for _ in 0..3 {
+            assert_eq!(hpe.firmware_attempt_reconfigure().unwrap_err(), HpeError::TamperRejected);
+        }
+        assert_eq!(hpe.telemetry().tamper_attempts, 3);
+    }
+
+    #[test]
+    fn clone_shares_state_maintenance_port_pattern() {
+        let hpe = engine_allowing(&[0x10], &[]);
+        let mut inline = hpe.clone();
+        inline.on_ingress(SimTime::ZERO, &frame(0x10));
+        // the retained handle sees the inline clone's traffic
+        assert_eq!(hpe.telemetry().read_granted, 1);
+    }
+
+    #[test]
+    fn signed_config_update_happy_path() {
+        let hpe = engine_allowing(&[], &[]).with_oem_key(KEY.to_vec());
+        let policy = parse_policy(
+            r#"policy "hpe-cfg" version 1 {
+                allow read on can:0x123 from *:*;
+            }"#,
+        )
+        .unwrap();
+        let bundle = PolicyBundle::new(1, "provisioning", vec![policy]).sign(KEY);
+        hpe.apply_signed_config(&bundle, None).unwrap();
+        assert_eq!(hpe.config_version(), 1);
+        let mut inline = hpe.clone();
+        assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x123)), InterposeVerdict::Grant);
+    }
+
+    #[test]
+    fn unsigned_engine_rejects_updates() {
+        let hpe = engine_allowing(&[], &[]);
+        let bundle = PolicyBundle::new(1, "x", vec![]).sign(KEY);
+        let err = hpe.apply_signed_config(&bundle, None).unwrap_err();
+        assert!(matches!(err, HpeError::ConfigRejected { .. }));
+        assert!(err.to_string().contains("no oem key"));
+    }
+
+    #[test]
+    fn wrong_key_and_stale_version_rejected() {
+        let hpe = engine_allowing(&[], &[]).with_oem_key(KEY.to_vec());
+        let forged = PolicyBundle::new(1, "x", vec![]).sign(b"attacker");
+        assert!(matches!(
+            hpe.apply_signed_config(&forged, None),
+            Err(HpeError::ConfigRejected { .. })
+        ));
+        let ok = PolicyBundle::new(1, "x", vec![]).sign(KEY);
+        hpe.apply_signed_config(&ok, None).unwrap();
+        let stale = PolicyBundle::new(1, "x", vec![]).sign(KEY);
+        let err = hpe.apply_signed_config(&stale, None).unwrap_err();
+        assert!(err.to_string().contains("does not advance"));
+    }
+
+    #[test]
+    fn update_replaces_old_entries() {
+        let hpe = engine_allowing(&[0x10], &[]).with_oem_key(KEY.to_vec());
+        let policy = parse_policy(
+            r#"policy "cfg" version 2 {
+                allow read on can:0x20 from *:*;
+            }"#,
+        )
+        .unwrap();
+        let bundle = PolicyBundle::new(1, "rotate", vec![policy]).sign(KEY);
+        hpe.apply_signed_config(&bundle, None).unwrap();
+        let mut inline = hpe.clone();
+        assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x10)), InterposeVerdict::Block);
+        assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x20)), InterposeVerdict::Grant);
+    }
+
+    #[test]
+    fn end_to_end_on_a_bus() {
+        let mut bus = CanBus::new(500_000);
+        let victim = bus.attach(CanNode::new("victim"));
+        let attacker = bus.attach(CanNode::new("attacker"));
+        let hpe = engine_allowing(&[0x100], &[]);
+        bus.node_mut(victim)
+            .unwrap()
+            .install_interposer(Box::new(hpe.clone()));
+        // legitimate frame passes, spoofed id is blocked at the victim
+        bus.send_from(attacker, frame(0x100)).unwrap();
+        bus.send_from(attacker, frame(0x666 & 0x7FF)).unwrap();
+        bus.run_until_idle();
+        let v = bus.node_mut(victim).unwrap();
+        assert_eq!(v.receive().unwrap().id(), sid(0x100));
+        assert!(v.receive().is_none());
+        assert_eq!(hpe.telemetry().read_blocked, 1);
+        assert_eq!(bus.stats().frames_blocked_ingress, 1);
+    }
+
+    #[test]
+    fn mode_scoped_config() {
+        let hpe = engine_allowing(&[], &[]).with_oem_key(KEY.to_vec());
+        let policy = parse_policy(
+            r#"policy "modal" version 1 {
+                allow write on can:0x50 from *:* when mode == fail-safe;
+            }"#,
+        )
+        .unwrap();
+        let bundle = PolicyBundle::new(1, "modal", vec![policy]).sign(KEY);
+        hpe.apply_signed_config(&bundle, Some("fail-safe")).unwrap();
+        let mut inline = hpe.clone();
+        assert_eq!(inline.on_egress(SimTime::ZERO, &frame(0x50)), InterposeVerdict::Grant);
+    }
+}

@@ -1,0 +1,171 @@
+//! Bridging `polsec-core` policies into MAC modules.
+//!
+//! One threat model should drive both enforcement points. This adapter
+//! lowers the process-facing subset of a core [`Policy`] into a
+//! [`PolicyModule`]: rules whose subject namespace is `proc` and whose
+//! object namespace is `proc`, `asset` or `file` become type-enforcement
+//! allows (`<name>_t` types), and deny rules become `neverallow`
+//! assertions, so later module loads cannot silently regrant them.
+
+use crate::policy::PolicyModule;
+use crate::te::TeRule;
+use polsec_core::{Action, Effect, Pattern, Policy};
+
+/// The object class used for lowered rules.
+pub const LOWERED_CLASS: &str = "resource";
+
+/// Maps a core action to a MAC permission name.
+fn perm_name(a: Action) -> &'static str {
+    match a {
+        Action::Read => "read",
+        Action::Write => "write",
+        Action::Execute => "execute",
+        Action::Configure => "setattr",
+    }
+}
+
+fn type_name(ns: &str, name: &str) -> String {
+    // "proc:media-player" → "media_player_t"
+    let base: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let _ = ns;
+    format!("{base}_t")
+}
+
+/// Lowers the process-facing rules of `policy` into a loadable module.
+///
+/// Rules whose subject or object patterns are not exact names are skipped
+/// (type enforcement has no wildcard types); the skipped rule ids are
+/// returned alongside the module so callers can surface them.
+pub fn module_from_core_policy(policy: &Policy) -> (PolicyModule, Vec<String>) {
+    let mut module = PolicyModule::new(policy.name(), policy.version());
+    let mut skipped = Vec::new();
+
+    for rule in policy.rules() {
+        let (Some(s_ns), Some(o_ns)) = (rule.subject().namespace(), rule.object().namespace())
+        else {
+            skipped.push(rule.id().to_string());
+            continue;
+        };
+        if s_ns != "proc" || !matches!(o_ns, "proc" | "asset" | "file") {
+            continue; // not process-facing; the other enforcement points own it
+        }
+        let (Pattern::Exact(s_name), Pattern::Exact(o_name)) =
+            (rule.subject().pattern(), rule.object().pattern())
+        else {
+            skipped.push(rule.id().to_string());
+            continue;
+        };
+        let source = type_name(s_ns, s_name);
+        let target = type_name(o_ns, o_name);
+        module.declare_type(source.clone());
+        module.declare_type(target.clone());
+        let perms: Vec<&str> = rule.actions().iter().map(perm_name).collect();
+        let te = match rule.effect() {
+            Effect::Allow => TeRule::allow(source, target, LOWERED_CLASS, &perms),
+            Effect::Deny => TeRule::neverallow(source, target, LOWERED_CLASS, &perms),
+        };
+        module.add_rule(te);
+    }
+    (module, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SecurityContext;
+    use crate::enforcer::Enforcer;
+    use crate::policy::MacPolicy;
+    use polsec_core::dsl::parse_policy;
+
+    #[test]
+    fn lowers_proc_rules_to_te() {
+        let p = parse_policy(
+            r#"policy "infotainment" version 1 {
+                allow read on asset:ev-ecu from proc:media-player;
+                deny write on asset:ev-ecu from proc:media-player;
+            }"#,
+        )
+        .unwrap();
+        let (module, skipped) = module_from_core_policy(&p);
+        assert!(skipped.is_empty());
+        assert_eq!(module.rules().len(), 2);
+
+        let mut mac = MacPolicy::new();
+        mac.load_module(module).unwrap();
+        let mut e = Enforcer::new(mac);
+        let media = SecurityContext::new("system", "system_r", "media_player_t");
+        let ecu = SecurityContext::object("ev_ecu_t");
+        assert!(e.check(&media, &ecu, LOWERED_CLASS, "read").permitted());
+        assert!(!e.check(&media, &ecu, LOWERED_CLASS, "write").permitted());
+    }
+
+    #[test]
+    fn deny_becomes_neverallow_and_guards_future_loads() {
+        let p = parse_policy(
+            r#"policy "hardening" version 1 {
+                deny write on asset:ev-ecu from proc:media-player;
+            }"#,
+        )
+        .unwrap();
+        let (module, _) = module_from_core_policy(&p);
+        let mut mac = MacPolicy::new();
+        mac.load_module(module).unwrap();
+        // a later module granting the forbidden vector must be rejected
+        let mut evil = PolicyModule::new("evil", 1);
+        evil.add_allow(TeRule::allow(
+            "media_player_t",
+            "ev_ecu_t",
+            LOWERED_CLASS,
+            &["write"],
+        ));
+        assert!(mac.load_module(evil).is_err());
+    }
+
+    #[test]
+    fn non_proc_rules_are_ignored_not_skipped() {
+        let p = parse_policy(
+            r#"policy "mixed" version 1 {
+                allow read on can:0x100 from entry:sensors;
+                allow read on asset:ecu from proc:app;
+            }"#,
+        )
+        .unwrap();
+        let (module, skipped) = module_from_core_policy(&p);
+        assert!(skipped.is_empty());
+        assert_eq!(module.rules().len(), 1, "only the proc rule lowers");
+    }
+
+    #[test]
+    fn wildcard_patterns_are_reported_as_skipped() {
+        let p = parse_policy(
+            r#"policy "wild" version 1 {
+                allow read on asset:* from proc:app;
+            }"#,
+        )
+        .unwrap();
+        let (module, skipped) = module_from_core_policy(&p);
+        assert!(module.rules().is_empty());
+        assert_eq!(skipped, vec!["r1".to_string()]);
+    }
+
+    #[test]
+    fn configure_maps_to_setattr() {
+        let p = parse_policy(
+            r#"policy "cfg" version 1 {
+                allow configure on asset:radio from proc:updater;
+            }"#,
+        )
+        .unwrap();
+        let (module, _) = module_from_core_policy(&p);
+        assert!(module.rules()[0].perms().contains("setattr"));
+    }
+
+    #[test]
+    fn type_names_sanitised() {
+        assert_eq!(type_name("proc", "media-player"), "media_player_t");
+        assert_eq!(type_name("asset", "3g.modem"), "3g_modem_t");
+    }
+}

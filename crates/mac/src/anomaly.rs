@@ -1,0 +1,234 @@
+//! Behavioural anomaly detection.
+//!
+//! The paper's software enforcement "checks application permission
+//! boundaries and identifies anomalous behaviour". Two small detectors
+//! implement the second half:
+//!
+//! * [`RateDetector`] — flags subjects whose event rate over a sliding
+//!   window exceeds a threshold (flooding / scanning behaviour),
+//! * [`NGramDetector`] — learns the n-grams of a subject's event sequence
+//!   during a training phase and flags unseen n-grams afterwards (the
+//!   classic system-call-sequence intrusion detection scheme).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A detector fed a stream of `(subject, event)` observations.
+pub trait AnomalyDetector {
+    /// Feeds one observation at `time_us`; returns `true` when the
+    /// observation is anomalous.
+    fn observe(&mut self, subject: &str, event: &str, time_us: u64) -> bool;
+
+    /// Total anomalies flagged so far.
+    fn anomalies(&self) -> u64;
+}
+
+/// Sliding-window rate detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateDetector {
+    window_us: u64,
+    max_events: usize,
+    history: HashMap<String, VecDeque<u64>>,
+    flagged: u64,
+}
+
+impl RateDetector {
+    /// Creates a detector allowing `max_events` per `window_us` per subject.
+    pub fn new(max_events: usize, window_us: u64) -> Self {
+        RateDetector {
+            window_us: window_us.max(1),
+            max_events: max_events.max(1),
+            history: HashMap::new(),
+            flagged: 0,
+        }
+    }
+}
+
+impl AnomalyDetector for RateDetector {
+    fn observe(&mut self, subject: &str, _event: &str, time_us: u64) -> bool {
+        let w = self.history.entry(subject.to_string()).or_default();
+        let cutoff = time_us.saturating_sub(self.window_us);
+        while w.front().is_some_and(|&t| t < cutoff) {
+            w.pop_front();
+        }
+        w.push_back(time_us);
+        let anomalous = w.len() > self.max_events;
+        if anomalous {
+            self.flagged += 1;
+        }
+        anomalous
+    }
+
+    fn anomalies(&self) -> u64 {
+        self.flagged
+    }
+}
+
+/// Training/detection phases for [`NGramDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Observations extend the known-good model.
+    Training,
+    /// Unknown n-grams are flagged.
+    Detecting,
+}
+
+/// Sequence n-gram detector over per-subject event streams.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NGramDetector {
+    n: usize,
+    phase: Phase,
+    known: HashSet<Vec<String>>,
+    recent: HashMap<String, VecDeque<String>>,
+    flagged: u64,
+}
+
+impl NGramDetector {
+    /// Creates a detector over `n`-grams (n clamped to ≥ 2), starting in
+    /// training phase.
+    pub fn new(n: usize) -> Self {
+        NGramDetector {
+            n: n.max(2),
+            phase: Phase::Training,
+            known: HashSet::new(),
+            recent: HashMap::new(),
+            flagged: 0,
+        }
+    }
+
+    /// Switches to detection phase.
+    pub fn finish_training(&mut self) {
+        self.phase = Phase::Detecting;
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Number of distinct n-grams learned.
+    pub fn model_size(&self) -> usize {
+        self.known.len()
+    }
+
+    fn current_gram(&mut self, subject: &str, event: &str) -> Option<Vec<String>> {
+        let window = self.recent.entry(subject.to_string()).or_default();
+        window.push_back(event.to_string());
+        if window.len() > self.n {
+            window.pop_front();
+        }
+        if window.len() == self.n {
+            Some(window.iter().cloned().collect())
+        } else {
+            None
+        }
+    }
+}
+
+impl AnomalyDetector for NGramDetector {
+    fn observe(&mut self, subject: &str, event: &str, _time_us: u64) -> bool {
+        let Some(gram) = self.current_gram(subject, event) else {
+            return false; // not enough history yet
+        };
+        match self.phase {
+            Phase::Training => {
+                self.known.insert(gram);
+                false
+            }
+            Phase::Detecting => {
+                let anomalous = !self.known.contains(&gram);
+                if anomalous {
+                    self.flagged += 1;
+                }
+                anomalous
+            }
+        }
+    }
+
+    fn anomalies(&self) -> u64 {
+        self.flagged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_detector_flags_bursts() {
+        let mut d = RateDetector::new(3, 1_000_000);
+        for i in 0..3 {
+            assert!(!d.observe("media", "send", i * 1_000));
+        }
+        assert!(d.observe("media", "send", 4_000), "4th event in window");
+        assert_eq!(d.anomalies(), 1);
+    }
+
+    #[test]
+    fn rate_detector_window_drains() {
+        let mut d = RateDetector::new(2, 1_000);
+        assert!(!d.observe("s", "e", 0));
+        assert!(!d.observe("s", "e", 100));
+        assert!(d.observe("s", "e", 200));
+        // far in the future: old events pruned
+        assert!(!d.observe("s", "e", 10_000));
+    }
+
+    #[test]
+    fn rate_detector_subjects_independent() {
+        let mut d = RateDetector::new(1, 1_000_000);
+        assert!(!d.observe("a", "e", 0));
+        assert!(!d.observe("b", "e", 0));
+        assert!(d.observe("a", "e", 1));
+        assert!(d.observe("b", "e", 1));
+    }
+
+    #[test]
+    fn ngram_learns_then_detects() {
+        let mut d = NGramDetector::new(3);
+        // train on a repeating benign sequence
+        for _ in 0..5 {
+            for ev in ["open", "read", "close"] {
+                assert!(!d.observe("app", ev, 0), "training never flags");
+            }
+        }
+        assert!(d.model_size() >= 3);
+        d.finish_training();
+        assert_eq!(d.phase(), Phase::Detecting);
+        // same behaviour: clean
+        for ev in ["open", "read", "close"] {
+            assert!(!d.observe("app", ev, 0));
+        }
+        // novel subsequence: flagged
+        assert!(d.observe("app", "exec", 0));
+        assert!(d.anomalies() >= 1);
+    }
+
+    #[test]
+    fn ngram_needs_enough_history() {
+        let mut d = NGramDetector::new(3);
+        d.finish_training(); // empty model
+        assert!(!d.observe("s", "a", 0), "1 event: no gram yet");
+        assert!(!d.observe("s", "b", 0), "2 events: no gram yet");
+        assert!(d.observe("s", "c", 0), "3rd forms an unknown gram");
+    }
+
+    #[test]
+    fn ngram_subjects_have_separate_streams() {
+        let mut d = NGramDetector::new(2);
+        d.observe("a", "x", 0);
+        d.observe("a", "y", 0); // learns (x,y) for a
+        d.finish_training();
+        // subject b producing x,y: same grams are shared knowledge (model is
+        // global), but b needs its own history to form them
+        assert!(!d.observe("b", "x", 0));
+        assert!(!d.observe("b", "y", 0), "gram (x,y) was learned");
+        assert!(d.observe("b", "z", 0), "gram (y,z) was not");
+    }
+
+    #[test]
+    fn n_clamped_to_two() {
+        let d = NGramDetector::new(0);
+        assert_eq!(d.n, 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! The access vector cache.
+//!
+//! Real SELinux answers most checks from the AVC rather than walking policy;
+//! the E5 bench measures the same effect here. Entries are keyed by
+//! `(source type, target type, class, perm)` and tagged with the policy
+//! generation they were computed under, so a policy reload invalidates
+//! stale entries lazily.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvcStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to consult policy.
+    pub misses: u64,
+    /// Entries dropped because their generation went stale.
+    pub invalidations: u64,
+    /// Whole-cache flushes due to the capacity bound.
+    pub evictions: u64,
+}
+
+impl AvcStats {
+    /// Hit ratio in `[0, 1]` (0 when no lookups yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    source: String,
+    target: String,
+    class: String,
+    perm: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    allowed: bool,
+    generation: u64,
+}
+
+/// A generation-tagged access vector cache.
+#[derive(Debug, Clone, Default)]
+pub struct Avc {
+    map: HashMap<Key, Entry>,
+    capacity: usize,
+    stats: AvcStats,
+}
+
+impl Avc {
+    /// Default capacity (entries).
+    pub const DEFAULT_CAPACITY: usize = 4_096;
+
+    /// Creates a cache with the default capacity.
+    pub fn new() -> Self {
+        Avc::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache bounded to `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Avc {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            stats: AvcStats::default(),
+        }
+    }
+
+    /// Looks up a vector computed under `generation`. Stale entries count
+    /// as misses and are dropped.
+    pub fn lookup(
+        &mut self,
+        source: &str,
+        target: &str,
+        class: &str,
+        perm: &str,
+        generation: u64,
+    ) -> Option<bool> {
+        let key = Key {
+            source: source.to_string(),
+            target: target.to_string(),
+            class: class.to_string(),
+            perm: perm.to_string(),
+        };
+        match self.map.get(&key) {
+            Some(e) if e.generation == generation => {
+                self.stats.hits += 1;
+                Some(e.allowed)
+            }
+            Some(_) => {
+                self.map.remove(&key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed vector. At capacity the cache is flushed first
+    /// (simple and predictable; real AVCs use reclaim lists).
+    pub fn insert(
+        &mut self,
+        source: &str,
+        target: &str,
+        class: &str,
+        perm: &str,
+        generation: u64,
+        allowed: bool,
+    ) {
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.stats.evictions += 1;
+        }
+        self.map.insert(
+            Key {
+                source: source.to_string(),
+                target: target.to_string(),
+                class: class.to_string(),
+                perm: perm.to_string(),
+            },
+            Entry { allowed, generation },
+        );
+    }
+
+    /// Drops everything (explicit flush, e.g. on policy unload).
+    pub fn flush(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> AvcStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut avc = Avc::new();
+        assert_eq!(avc.lookup("a", "b", "c", "p", 1), None);
+        avc.insert("a", "b", "c", "p", 1, true);
+        assert_eq!(avc.lookup("a", "b", "c", "p", 1), Some(true));
+        let s = avc.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_generation_invalidates() {
+        let mut avc = Avc::new();
+        avc.insert("a", "b", "c", "p", 1, true);
+        assert_eq!(avc.lookup("a", "b", "c", "p", 2), None, "new generation");
+        assert_eq!(avc.stats().invalidations, 1);
+        assert!(avc.is_empty(), "stale entry dropped");
+    }
+
+    #[test]
+    fn distinct_perms_are_distinct_entries() {
+        let mut avc = Avc::new();
+        avc.insert("a", "b", "c", "read", 1, true);
+        avc.insert("a", "b", "c", "write", 1, false);
+        assert_eq!(avc.lookup("a", "b", "c", "read", 1), Some(true));
+        assert_eq!(avc.lookup("a", "b", "c", "write", 1), Some(false));
+        assert_eq!(avc.len(), 2);
+    }
+
+    #[test]
+    fn capacity_flush() {
+        let mut avc = Avc::with_capacity(2);
+        avc.insert("a", "b", "c", "1", 1, true);
+        avc.insert("a", "b", "c", "2", 1, true);
+        avc.insert("a", "b", "c", "3", 1, true); // triggers flush
+        assert_eq!(avc.stats().evictions, 1);
+        assert_eq!(avc.len(), 1);
+        assert_eq!(avc.lookup("a", "b", "c", "1", 1), None);
+        assert_eq!(avc.lookup("a", "b", "c", "3", 1), Some(true));
+    }
+
+    #[test]
+    fn explicit_flush() {
+        let mut avc = Avc::new();
+        avc.insert("a", "b", "c", "p", 1, true);
+        avc.flush();
+        assert!(avc.is_empty());
+    }
+
+    #[test]
+    fn hit_ratio_zero_when_untouched() {
+        assert_eq!(Avc::new().stats().hit_ratio(), 0.0);
+    }
+}

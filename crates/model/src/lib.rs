@@ -1,0 +1,60 @@
+//! # polsec-model — application threat modelling
+//!
+//! Executable versions of the threat-modelling artefacts the paper builds on
+//! (its §II "Background" and Fig. 1):
+//!
+//! * [`StrideSet`] — STRIDE threat categorisation, parsing the paper's
+//!   compact letter strings ("STD", "STIDE", "TIE", …),
+//! * [`DreadScore`] — DREAD risk vectors with the averaged rating used in
+//!   Table I,
+//! * [`Asset`] / [`EntryPoint`] / [`Threat`] / [`UseCase`] — the system
+//!   decomposition of an application use case,
+//! * [`pipeline`] — the six-stage application threat-modelling pipeline of
+//!   Fig. 1, producing a [`SecurityModel`],
+//! * [`countermeasure`] — guideline-based vs policy-based countermeasures
+//!   with the remediation cost model behind the paper's §V.A.3 comparison,
+//! * [`report`] — markdown rendering of the security model (the Table I
+//!   generator).
+//!
+//! # Example
+//!
+//! ```
+//! use polsec_model::{DreadScore, StrideSet};
+//!
+//! let stride: StrideSet = "STD".parse()?;
+//! assert!(stride.contains(polsec_model::StrideCategory::Spoofing));
+//!
+//! let dread = DreadScore::new(8, 5, 4, 6, 4)?;
+//! assert!((dread.average() - 5.4).abs() < 1e-9);
+//! # Ok::<(), polsec_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asset;
+pub mod catalog;
+pub mod countermeasure;
+pub mod dread;
+pub mod entry_point;
+pub mod error;
+pub mod mode;
+pub mod pipeline;
+pub mod report;
+pub mod risk;
+pub mod stride;
+pub mod threat;
+pub mod usecase;
+
+pub use asset::{Asset, AssetId, Criticality};
+pub use catalog::ThreatCatalog;
+pub use countermeasure::{Countermeasure, PermissionHint, PolicySpec, RemediationCost};
+pub use dread::{DreadScore, RiskRating};
+pub use entry_point::{EntryPoint, EntryPointId, InterfaceKind};
+pub use error::ModelError;
+pub use mode::OperatingMode;
+pub use pipeline::{SecurityModel, StageReport, ThreatModelPipeline};
+pub use risk::{Likelihood, RiskMatrix, RiskQuadrant};
+pub use stride::{StrideCategory, StrideSet};
+pub use threat::{Threat, ThreatId};
+pub use usecase::{UseCase, UseCaseBuilder};

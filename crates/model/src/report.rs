@@ -1,0 +1,203 @@
+//! Security-model reports.
+//!
+//! [`render_threat_table`] regenerates the paper's Table I from a validated
+//! use case: one row per threat with asset, per-mode applicability ticks,
+//! entry points, description, STRIDE letters, the DREAD vector with average,
+//! and the derived policy. [`render_security_model`] renders the full
+//! pipeline output as a markdown document (the "technical document that
+//! provides security guidelines" of §I, plus the policy annex).
+
+use crate::pipeline::SecurityModel;
+use crate::usecase::UseCase;
+
+/// Renders the Table I-style threat table as GitHub-flavoured markdown.
+///
+/// Mode columns use each declared mode's capitalised initial letters; a `x`
+/// marks the modes a threat applies in (a threat with no declared modes
+/// applies in all and is ticked everywhere).
+pub fn render_threat_table(uc: &UseCase) -> String {
+    let mut out = String::new();
+    let modes = uc.modes();
+
+    // header
+    out.push_str("| Critical Asset |");
+    for m in modes {
+        out.push_str(&format!(" {} |", mode_abbrev(m.name())));
+    }
+    out.push_str(" Entry Points | Potential Threat | STRIDE | DREAD (Avg.) | Policy |\n");
+    out.push_str("|---|");
+    for _ in modes {
+        out.push_str("---|");
+    }
+    out.push_str("---|---|---|---|---|\n");
+
+    for t in uc.threats() {
+        let asset_name = uc
+            .asset(t.asset())
+            .map(|a| a.name().to_string())
+            .unwrap_or_else(|| t.asset().to_string());
+        out.push_str(&format!("| {asset_name} |"));
+        for m in modes {
+            out.push_str(if t.applies_in(m) { " x |" } else { "   |" });
+        }
+        let eps: Vec<String> = t
+            .entry_points()
+            .iter()
+            .map(|e| {
+                uc.entry_point(e)
+                    .map(|ep| ep.name().to_string())
+                    .unwrap_or_else(|| e.to_string())
+            })
+            .collect();
+        out.push_str(&format!(
+            " {} | {} | {} | {} | {} |\n",
+            eps.join(", "),
+            t.description(),
+            t.stride(),
+            t.dread(),
+            t.policy()
+        ));
+    }
+    out
+}
+
+fn mode_abbrev(name: &str) -> String {
+    // "remote diagnostic" → "RD", "fail-safe" → "FS", "normal" → "N"
+    name.split(|c: char| c.is_whitespace() || c == '-' || c == '_')
+        .filter(|w| !w.is_empty())
+        .map(|w| {
+            w.chars()
+                .next()
+                .map(|c| c.to_ascii_uppercase())
+                .unwrap_or('?')
+        })
+        .collect()
+}
+
+/// Renders the full security model (pipeline stages + threat table +
+/// countermeasure annex) as a markdown document.
+pub fn render_security_model(model: &SecurityModel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Security model: {}\n\n",
+        model.use_case().name()
+    ));
+    if !model.use_case().description().is_empty() {
+        out.push_str(model.use_case().description());
+        out.push_str("\n\n");
+    }
+
+    out.push_str("## Threat modelling pipeline\n\n");
+    for stage in model.stages() {
+        out.push_str(&format!("### {}\n\n{}\n\n", stage.stage, stage.summary));
+        for item in &stage.items {
+            out.push_str(&format!("- {item}\n"));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("## Threat table\n\n");
+    out.push_str(&render_threat_table(model.use_case()));
+    out.push('\n');
+
+    out.push_str("## Countermeasures\n\n");
+    for (tid, cm) in model.countermeasures() {
+        out.push_str(&format!("- **{tid}** — {cm}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::{Asset, Criticality};
+    use crate::countermeasure::PermissionHint;
+    use crate::dread::DreadScore;
+    use crate::entry_point::{EntryPoint, InterfaceKind};
+    use crate::pipeline::ThreatModelPipeline;
+    use crate::threat::Threat;
+
+    fn uc() -> UseCase {
+        UseCase::builder("connected car")
+            .asset(Asset::new("ev-ecu", "EV-ECU", Criticality::SafetyCritical))
+            .entry_point(EntryPoint::new("sensors", "Sensors", InterfaceKind::Sensor))
+            .mode("normal")
+            .mode("remote diagnostic")
+            .mode("fail-safe")
+            .threat(
+                Threat::builder("t1", "Spoofed data over CANbus causing disablement of ECU")
+                    .asset("ev-ecu")
+                    .entry_point("sensors")
+                    .stride("STD".parse().unwrap())
+                    .dread(DreadScore::new(8, 5, 4, 6, 4).unwrap())
+                    .mode("normal")
+                    .policy(PermissionHint::Read)
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn table_contains_paper_notation() {
+        let table = render_threat_table(&uc());
+        assert!(table.contains("| EV-ECU |"));
+        assert!(table.contains("STD"));
+        assert!(table.contains("8,5,4,6,4 (5.4)"));
+        assert!(table.contains("| R |"));
+    }
+
+    #[test]
+    fn mode_columns_abbreviated_and_ticked() {
+        let table = render_threat_table(&uc());
+        let header = table.lines().next().unwrap();
+        assert!(header.contains(" N |"));
+        assert!(header.contains(" RD |"));
+        assert!(header.contains(" FS |"));
+        // threat applies only in normal
+        let row = table.lines().nth(2).unwrap();
+        assert!(row.starts_with("| EV-ECU | x |"));
+    }
+
+    #[test]
+    fn threat_without_modes_ticks_all() {
+        let base = uc();
+        let uc2 = UseCase::builder("x")
+            .asset(base.assets()[0].clone())
+            .entry_point(base.entry_points()[0].clone())
+            .mode("normal")
+            .mode("fail-safe")
+            .threat(
+                Threat::builder("t", "always-on threat")
+                    .asset("ev-ecu")
+                    .entry_point("sensors")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let table = render_threat_table(&uc2);
+        let row = table.lines().nth(2).unwrap();
+        assert!(row.contains("| x | x |"));
+    }
+
+    #[test]
+    fn mode_abbrev_rules() {
+        assert_eq!(mode_abbrev("normal"), "N");
+        assert_eq!(mode_abbrev("remote diagnostic"), "RD");
+        assert_eq!(mode_abbrev("fail-safe"), "FS");
+        assert_eq!(mode_abbrev("a_b c"), "ABC");
+    }
+
+    #[test]
+    fn full_document_has_all_sections() {
+        let model = ThreatModelPipeline::new().run(&uc());
+        let doc = render_security_model(&model);
+        assert!(doc.contains("# Security model: connected car"));
+        assert!(doc.contains("## Threat modelling pipeline"));
+        assert!(doc.contains("### Risk assessment"));
+        assert!(doc.contains("## Threat table"));
+        assert!(doc.contains("## Countermeasures"));
+        assert!(doc.contains("guideline:"));
+        assert!(doc.contains("policy:"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # polsec-sim — discrete-event simulation substrate
+//!
+//! The enforcement experiments in this workspace (CAN traffic, attack
+//! scenarios, policy-update turnaround) run on a deterministic discrete-event
+//! simulator. This crate provides the shared pieces:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer microsecond simulated time,
+//! * [`EventQueue`] and [`Scheduler`] — a deterministic event loop with
+//!   stable tie-breaking,
+//! * [`DetRng`] — a seedable, dependency-free xorshift RNG so every
+//!   experiment is reproducible from a single `u64` seed,
+//! * [`metrics`] — counters and histograms used by benches and reports,
+//! * [`trace`] — a bounded in-memory trace of simulation records.
+//!
+//! # Example
+//!
+//! ```
+//! use polsec_sim::{Scheduler, SimDuration, SimTime};
+//!
+//! let mut sched = Scheduler::new();
+//! let mut fired = Vec::new();
+//! sched.schedule_in(SimDuration::micros(5), 1);
+//! sched.schedule_in(SimDuration::micros(2), 2);
+//! while let Some((time, payload)) = sched.pop() {
+//!     fired.push((time, payload));
+//! }
+//! assert_eq!(fired[0], (SimTime::from_micros(2), 2));
+//! assert_eq!(fired[1], (SimTime::from_micros(5), 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventQueue, Scheduler};
+pub use metrics::{Counter, Histogram, MetricSet};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceRecord};

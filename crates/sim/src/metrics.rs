@@ -1,0 +1,311 @@
+//! Counters and histograms for experiments.
+//!
+//! Every harness binary in `polsec-bench` reports through these types so the
+//! output tables are produced uniformly. Histograms store raw samples (the
+//! experiments here are small enough that exact percentiles beat bucketing).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing named counter.
+///
+/// # Example
+/// ```
+/// use polsec_sim::Counter;
+/// let mut blocked = Counter::new("blocked");
+/// blocked.incr();
+/// blocked.add(4);
+/// assert_eq!(blocked.value(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// An exact-sample histogram of `u64` observations.
+///
+/// Keeps every sample; suited to the 1e3–1e6-sample scale of the experiments
+/// in this workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) by nearest-rank, or `None` when empty.
+    ///
+    /// `quantile(0.5)` is the median; `quantile(0.99)` the p99.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// A compact single-line summary: `n min mean p50 p99 max`.
+    pub fn summary(&mut self) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        let n = self.count();
+        let min = self.min().unwrap_or(0);
+        let max = self.max().unwrap_or(0);
+        let mean = self.mean().unwrap_or(0.0);
+        let p50 = self.quantile(0.50).unwrap_or(0);
+        let p99 = self.quantile(0.99).unwrap_or(0);
+        format!("n={n} min={min} mean={mean:.1} p50={p50} p99={p99} max={max}")
+    }
+}
+
+/// A named collection of counters and histograms, the standard report shape
+/// for harness binaries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Records a histogram observation under `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Mutable access to a named histogram, if present.
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another metric set into this one (counters add, histogram
+    /// samples concatenate).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for s in &h.samples {
+                dst.record(*s);
+            }
+        }
+    }
+
+    /// Renders all metrics as aligned text lines, histograms summarised.
+    pub fn render(&mut self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<40} {v}\n"));
+        }
+        let names: Vec<String> = self.histograms.keys().cloned().collect();
+        for k in names {
+            let line = self
+                .histograms
+                .get_mut(&k)
+                .map(|h| h.summary())
+                .unwrap_or_default();
+            out.push_str(&format!("{k:<40} {line}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "x=10");
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn histogram_empty_behaviour() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.sum(), 55);
+        assert!((h.mean().unwrap() - 5.5).abs() < 1e-12);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn quantile_nearest_rank_edge() {
+        let mut h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.quantile(0.01), Some(100));
+        assert_eq!(h.quantile(0.99), Some(100));
+    }
+
+    #[test]
+    fn quantile_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.quantile(1.0), Some(5));
+        h.record(1); // re-sorting must happen after new record
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn metric_set_counts_and_observes() {
+        let mut m = MetricSet::new();
+        m.count("granted", 3);
+        m.count("granted", 2);
+        m.observe("latency", 10);
+        m.observe("latency", 20);
+        assert_eq!(m.counter("granted"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.histogram_mut("latency").unwrap().count(), 2);
+        let text = m.render();
+        assert!(text.contains("granted"));
+        assert!(text.contains("latency"));
+    }
+
+    #[test]
+    fn metric_set_merge() {
+        let mut a = MetricSet::new();
+        a.count("x", 1);
+        a.observe("h", 5);
+        let mut b = MetricSet::new();
+        b.count("x", 2);
+        b.count("y", 7);
+        b.observe("h", 9);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        assert_eq!(a.histogram_mut("h").unwrap().count(), 2);
+    }
+}

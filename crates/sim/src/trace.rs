@@ -1,0 +1,206 @@
+//! Bounded simulation traces.
+//!
+//! Scenario runs record what happened (frames sent, decisions taken, attacks
+//! fired) as [`TraceRecord`]s. The trace is bounded so a runaway experiment
+//! cannot exhaust memory; when full, the oldest records are dropped and a
+//! dropped-count is kept so reports can say so.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One record in a simulation trace: a timestamp, a category tag and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the event happened in simulated time.
+    pub time: SimTime,
+    /// A short machine-matchable category, e.g. `"hpe.block"`.
+    pub tag: String,
+    /// Free-form detail for humans.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.tag, self.detail)
+    }
+}
+
+/// A bounded FIFO of [`TraceRecord`]s.
+///
+/// # Example
+/// ```
+/// use polsec_sim::{SimTime, Trace};
+/// let mut tr = Trace::with_capacity(2);
+/// tr.record(SimTime::ZERO, "a", "first");
+/// tr.record(SimTime::ZERO, "b", "second");
+/// tr.record(SimTime::ZERO, "c", "third"); // evicts "a"
+/// assert_eq!(tr.len(), 2);
+/// assert_eq!(tr.dropped(), 1);
+/// assert!(tr.find("c").is_some());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Trace {
+    /// Default bound on retained records.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a trace retaining at most `capacity` records (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if at capacity.
+    pub fn record(&mut self, time: SimTime, tag: impl Into<String>, detail: impl Into<String>) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            tag: tag.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// First record whose tag equals `tag`.
+    pub fn find(&self, tag: &str) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| r.tag == tag)
+    }
+
+    /// All records whose tag starts with `prefix` (e.g. `"hpe."`).
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.tag.starts_with(prefix))
+    }
+
+    /// Counts records with exactly this tag.
+    pub fn count(&self, tag: &str) -> usize {
+        self.records.iter().filter(|r| r.tag == tag).count()
+    }
+
+    /// Clears all records (the dropped counter is reset too).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// Renders the whole trace as text, one record per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::default();
+        tr.record(t(1), "x", "one");
+        tr.record(t(2), "y", "two");
+        let tags: Vec<&str> = tr.iter().map(|r| r.tag.as_str()).collect();
+        assert_eq!(tags, vec!["x", "y"]);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut tr = Trace::with_capacity(3);
+        for i in 0..5 {
+            tr.record(t(i), format!("tag{i}"), "");
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        assert!(tr.find("tag0").is_none());
+        assert!(tr.find("tag4").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut tr = Trace::with_capacity(0);
+        tr.record(t(0), "a", "");
+        tr.record(t(1), "b", "");
+        assert_eq!(tr.len(), 1);
+        assert!(tr.find("b").is_some());
+    }
+
+    #[test]
+    fn prefix_and_count_queries() {
+        let mut tr = Trace::default();
+        tr.record(t(0), "hpe.block", "spoof");
+        tr.record(t(1), "hpe.grant", "ok");
+        tr.record(t(2), "hpe.block", "again");
+        tr.record(t(3), "bus.tx", "frame");
+        assert_eq!(tr.with_prefix("hpe.").count(), 3);
+        assert_eq!(tr.count("hpe.block"), 2);
+        assert_eq!(tr.count("nope"), 0);
+    }
+
+    #[test]
+    fn render_and_display() {
+        let mut tr = Trace::default();
+        tr.record(t(7), "tag", "detail text");
+        let s = tr.render();
+        assert!(s.contains("7us"));
+        assert!(s.contains("tag"));
+        assert!(s.contains("detail text"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut tr = Trace::with_capacity(1);
+        tr.record(t(0), "a", "");
+        tr.record(t(1), "b", "");
+        assert_eq!(tr.dropped(), 1);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's headline story: a new threat is discovered after deployment
+//! and countered with a **signed policy update** instead of a redesign.
+//!
+//! The HPE on the door-lock node ships with a v1 configuration that still
+//! admits an identifier later found to be abusable. The OEM signs a v2
+//! bundle; the device applies it; the attack that worked yesterday is
+//! blocked today. A forged bundle from an attacker is rejected.
+//!
+//! Run with: `cargo run --example policy_update`
+
+use polsec::can::{CanBus, CanFrame, CanId, CanNode};
+use polsec::hpe::{ApprovedLists, HardwarePolicyEngine};
+use polsec::policy::dsl::parse_policy;
+use polsec::policy::PolicyBundle;
+
+const OEM_KEY: &[u8] = b"example-oem-key";
+
+fn spoof_frame() -> CanFrame {
+    CanFrame::data(CanId::Standard(0x310), &[0x02]).expect("valid frame")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Factory state: the lock module's HPE read list was generated from an
+    // early communication matrix that still includes 0x310.
+    let mut lists = ApprovedLists::with_capacity(8);
+    lists.allow_read(CanId::standard(0x200)?)?; // lock commands
+    lists.allow_read(CanId::standard(0x310)?)?; // the abusable id
+    let hpe = HardwarePolicyEngine::new("locks-hpe", lists).with_oem_key(OEM_KEY.to_vec());
+
+    let mut bus = CanBus::new(500_000);
+    let locks = bus.attach(CanNode::new("door-locks"));
+    let attacker = bus.attach(CanNode::new("attacker"));
+    bus.node_mut(locks).expect("node").install_interposer(Box::new(hpe.clone()));
+
+    // Day 0: the attack works.
+    bus.send_from(attacker, spoof_frame())?;
+    bus.run_until_idle();
+    let day0 = bus.node_mut(locks).expect("node").receive();
+    println!("day 0 (v{}): spoofed 0x310 delivered? {}", hpe.config_version(), day0.is_some());
+    assert!(day0.is_some());
+
+    // The OEM reruns threat modelling and ships a v2 policy dropping 0x310.
+    let fixed = parse_policy(
+        r#"policy "locks-hpe-config" version 2 {
+            allow read on can:0x200 from *:*;
+        }"#,
+    )?;
+    let bundle = PolicyBundle::new(2, "advisory 2018-7: drop 0x310 from lock read list", vec![fixed]);
+
+    // An attacker tries to push their own "update" first — rejected.
+    let forged = PolicyBundle::new(
+        3,
+        "totally legitimate update",
+        vec![parse_policy(r#"policy "evil" version 3 { allow read on can:* from *:*; }"#)?],
+    )
+    .sign(b"attacker-key");
+    println!("forged update: {:?}", hpe.apply_signed_config(&forged, None).unwrap_err());
+
+    // The genuine update applies.
+    hpe.apply_signed_config(&bundle.sign(OEM_KEY), None)?;
+    println!("applied OEM update; hpe now at v{}", hpe.config_version());
+
+    // Day 1: the same attack is blocked; legitimate traffic still flows.
+    bus.send_from(attacker, spoof_frame())?;
+    bus.send_from(attacker, CanFrame::data(CanId::standard(0x200)?, &[0x01, 0x01])?)?;
+    bus.run_until_idle();
+    let node = bus.node_mut(locks).expect("node");
+    let first = node.receive().expect("legitimate frame still arrives");
+    println!("day 1 (v2): received {first}; further frames: {:?}", node.receive());
+    assert_eq!(first.id().raw(), 0x200);
+    assert_eq!(hpe.telemetry().read_blocked, 1);
+
+    println!(
+        "turnaround: one signed bundle ({} bytes) versus a product recall.",
+        bundle.payload().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Generates the complete security-model document for the connected car —
+//! the "technical document" of the paper's §II, with the policy annex that
+//! §IV adds — as markdown on stdout.
+//!
+//! Run with: `cargo run --example threat_report > security-model.md`
+
+use polsec::car::{car_security_model, car_use_case};
+use polsec::model::report::{render_security_model, render_threat_table};
+use polsec::model::{RiskMatrix, RiskQuadrant};
+
+fn main() {
+    let model = car_security_model();
+    println!("{}", render_security_model(&model));
+
+    // Risk-matrix annex: where each threat lands.
+    println!("## Risk matrix annex\n");
+    let uc = car_use_case();
+    let matrix = RiskMatrix::new();
+    for quadrant in [
+        RiskQuadrant::Priority,
+        RiskQuadrant::Contingency,
+        RiskQuadrant::Mitigate,
+        RiskQuadrant::Monitor,
+    ] {
+        let members: Vec<String> = uc
+            .threats()
+            .iter()
+            .filter(|t| matrix.classify(t.dread()) == quadrant)
+            .map(|t| format!("{} ({})", t.id(), t.dread().average_1dp()))
+            .collect();
+        println!("- **{quadrant}**: {}", if members.is_empty() { "—".into() } else { members.join(", ") });
+    }
+
+    println!("\n## Table I (standalone)\n");
+    println!("{}", render_threat_table(&uc));
+}

@@ -1,0 +1,58 @@
+//! # polsec — policy-based security modelling and enforcement for embedded architectures
+//!
+//! A full reproduction of Hagan, Siddiqui & Sezer, *"Policy-Based Security
+//! Modelling and Enforcement Approach for Emerging Embedded Architectures"*
+//! (IEEE SOCC 2018), as a Rust workspace. This facade crate re-exports every
+//! subsystem:
+//!
+//! * [`model`] — STRIDE/DREAD application threat modelling (Fig. 1),
+//! * [`policy`] — the policy language, engine, compiler and signed updates
+//!   (the paper's contribution),
+//! * [`can`] — the ISO 11898 CAN substrate,
+//! * [`hpe`] — the hardware-based policy engine (Fig. 4),
+//! * [`mac`] — SELinux-style software enforcement,
+//! * [`car`] — the connected-car case study (Fig. 2, Table I),
+//! * [`sim`] — the discrete-event simulation substrate.
+//!
+//! Start with `examples/quickstart.rs`, then `examples/connected_car.rs`
+//! for the full case study and `examples/policy_update.rs` for the paper's
+//! headline post-deployment-update story.
+//!
+//! # Example
+//!
+//! ```
+//! use polsec::policy::dsl::parse_policy;
+//! use polsec::policy::{AccessRequest, Action, EntityId, EvalContext, PolicyEngine};
+//!
+//! let engine = PolicyEngine::from_policy(parse_policy(
+//!     r#"policy "demo" version 1 {
+//!         default deny;
+//!         allow read on asset:ev-ecu from entry:*;
+//!     }"#,
+//! )?);
+//! let request = AccessRequest::new(
+//!     EntityId::new("entry", "sensors"),
+//!     EntityId::new("asset", "ev-ecu"),
+//!     Action::Read,
+//! );
+//! assert!(engine.decide(&request, &EvalContext::new()).is_allow());
+//! # Ok::<(), polsec::policy::PolicyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The CAN bus substrate (`polsec-can`).
+pub use polsec_can as can;
+/// The connected-car case study (`polsec-car`).
+pub use polsec_car as car;
+/// The hardware policy engine (`polsec-hpe`).
+pub use polsec_hpe as hpe;
+/// SELinux-style mandatory access control (`polsec-mac`).
+pub use polsec_mac as mac;
+/// Threat modelling (`polsec-model`).
+pub use polsec_model as model;
+/// The policy core (`polsec-core`).
+pub use polsec_core as policy;
+/// Discrete-event simulation substrate (`polsec-sim`).
+pub use polsec_sim as sim;

@@ -1,0 +1,152 @@
+//! Integration: the signed policy-update mechanism across the device store,
+//! the software engine and the hardware policy engine.
+
+use polsec::can::{CanBus, CanFrame, CanId, CanNode};
+use polsec::hpe::{ApprovedLists, HardwarePolicyEngine};
+use polsec::policy::dsl::parse_policy;
+use polsec::policy::{
+    AccessRequest, Action, DevicePolicyStore, EntityId, EvalContext, PolicyBundle, PolicyEngine,
+    PolicyError, PolicySet,
+};
+
+const KEY: &[u8] = b"integration-oem-key";
+
+fn sid(v: u32) -> CanId {
+    CanId::standard(v).expect("valid id")
+}
+
+#[test]
+fn software_engine_reload_through_device_store() {
+    // v1 allows telematics to unlock doors unconditionally (the flaw)
+    let v1 = parse_policy(
+        r#"policy "locks" version 1 {
+            default deny;
+            allow write on asset:door-locks from entry:telematics as remote;
+        }"#,
+    )
+    .expect("parses");
+    let mut store = DevicePolicyStore::new(PolicySet::from_policy(v1), KEY.to_vec());
+    let mut engine = PolicyEngine::new(store.active().clone());
+
+    let unlock = AccessRequest::new(
+        EntityId::new("entry", "telematics"),
+        EntityId::new("asset", "door-locks"),
+        Action::Write,
+    );
+    let moving = EvalContext::new()
+        .with_mode("normal")
+        .with_state("vehicle.moving", "true");
+    assert!(engine.decide(&unlock, &moving).is_allow(), "the flaw is live");
+
+    // the discovered threat (t13) is countered with a v2 policy update
+    let v2 = parse_policy(
+        r#"policy "locks" version 2 {
+            default deny;
+            allow write on asset:door-locks from entry:telematics
+                when state.vehicle.moving == false as remote-parked;
+        }"#,
+    )
+    .expect("parses");
+    let bundle = PolicyBundle::new(1, "t13 response", vec![v2]).sign(KEY);
+    store.apply(&bundle).expect("authentic update applies");
+    engine.reload(store.active().clone());
+
+    assert!(!engine.decide(&unlock, &moving).is_allow(), "flaw closed");
+    let parked = EvalContext::new()
+        .with_mode("normal")
+        .with_state("vehicle.moving", "false");
+    assert!(engine.decide(&unlock, &parked).is_allow(), "functionality kept");
+}
+
+#[test]
+fn rollback_restores_previous_behaviour() {
+    let v1 = parse_policy(r#"policy "p" version 1 { default allow; }"#).expect("parses");
+    let mut store = DevicePolicyStore::new(PolicySet::from_policy(v1), KEY.to_vec());
+    let v2 = parse_policy(r#"policy "p" version 2 { default deny; }"#).expect("parses");
+    store
+        .apply(&PolicyBundle::new(1, "tighten", vec![v2]).sign(KEY))
+        .expect("applies");
+
+    let engine = PolicyEngine::new(store.active().clone());
+    let req = AccessRequest::new(
+        EntityId::new("entry", "x"),
+        EntityId::new("asset", "y"),
+        Action::Read,
+    );
+    assert!(!engine.decide(&req, &EvalContext::new()).is_allow());
+
+    store.rollback().expect("previous retained");
+    let engine = PolicyEngine::new(store.active().clone());
+    assert!(engine.decide(&req, &EvalContext::new()).is_allow());
+}
+
+#[test]
+fn hpe_and_store_reject_the_same_forgeries() {
+    let v = parse_policy(r#"policy "cfg" version 1 { allow read on can:0x100 from *:*; }"#)
+        .expect("parses");
+    let bundle = PolicyBundle::new(1, "cfg", vec![v]);
+    let forged = bundle.sign(b"wrong-key");
+    let tampered = bundle.sign(KEY).tampered();
+
+    let mut store = DevicePolicyStore::new(PolicySet::new(), KEY.to_vec());
+    assert_eq!(store.apply(&forged).unwrap_err(), PolicyError::BadSignature);
+    assert_eq!(store.apply(&tampered).unwrap_err(), PolicyError::BadSignature);
+
+    let hpe = HardwarePolicyEngine::new("hpe", ApprovedLists::with_capacity(8))
+        .with_oem_key(KEY.to_vec());
+    assert!(hpe.apply_signed_config(&forged, None).is_err());
+    assert!(hpe.apply_signed_config(&tampered, None).is_err());
+
+    // the authentic bundle passes both
+    let signed = bundle.sign(KEY);
+    store.apply(&signed).expect("store applies");
+    hpe.apply_signed_config(&signed, None).expect("hpe applies");
+    assert_eq!(store.version(), 1);
+    assert_eq!(hpe.config_version(), 1);
+}
+
+#[test]
+fn hpe_update_changes_live_filtering() {
+    let mut lists = ApprovedLists::with_capacity(8);
+    lists.allow_read(sid(0x310)).expect("capacity");
+    let hpe = HardwarePolicyEngine::new("hpe", lists).with_oem_key(KEY.to_vec());
+
+    let mut bus = CanBus::new(500_000);
+    let victim = bus.attach(CanNode::new("victim"));
+    let attacker = bus.attach(CanNode::new("attacker"));
+    bus.node_mut(victim).expect("node").install_interposer(Box::new(hpe.clone()));
+
+    bus.send_from(attacker, CanFrame::data(sid(0x310), &[2]).expect("frame")).expect("send");
+    bus.run_until_idle();
+    assert!(bus.node_mut(victim).expect("node").receive().is_some(), "pre-update: passes");
+
+    let fixed = parse_policy(r#"policy "cfg" version 2 { allow read on can:0x100 from *:*; }"#)
+        .expect("parses");
+    hpe.apply_signed_config(&PolicyBundle::new(2, "drop 0x310", vec![fixed]).sign(KEY), None)
+        .expect("applies");
+
+    bus.send_from(attacker, CanFrame::data(sid(0x310), &[2]).expect("frame")).expect("send");
+    bus.run_until_idle();
+    assert!(bus.node_mut(victim).expect("node").receive().is_none(), "post-update: blocked");
+    assert_eq!(hpe.telemetry().read_blocked, 1);
+}
+
+#[test]
+fn replay_of_old_bundles_is_rejected_everywhere() {
+    let v1 = parse_policy(r#"policy "p" version 1 { default deny; }"#).expect("parses");
+    let v2 = parse_policy(r#"policy "p" version 2 { default deny; }"#).expect("parses");
+    let old = PolicyBundle::new(1, "old", vec![v1]).sign(KEY);
+    let new = PolicyBundle::new(2, "new", vec![v2]).sign(KEY);
+
+    let mut store = DevicePolicyStore::new(PolicySet::new(), KEY.to_vec());
+    store.apply(&new).expect("applies");
+    assert!(matches!(
+        store.apply(&old).unwrap_err(),
+        PolicyError::StaleVersion { current: 2, offered: 1 }
+    ));
+
+    let hpe = HardwarePolicyEngine::new("hpe", ApprovedLists::with_capacity(4))
+        .with_oem_key(KEY.to_vec());
+    hpe.apply_signed_config(&new, None).expect("applies");
+    assert!(hpe.apply_signed_config(&old, None).is_err(), "downgrade refused");
+}

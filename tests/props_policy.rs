@@ -1,0 +1,183 @@
+//! Property-based tests for the policy core: DSL round trip, engine
+//! determinism and combining-strategy relationships.
+
+use polsec::policy::dsl::{parse_policy, print_policy};
+use polsec::policy::{
+    AccessRequest, Action, ActionSet, CombiningStrategy, Condition, Effect, EntityId,
+    EntityMatcher, EvalContext, Pattern, Policy, PolicyEngine, PolicySet, Rule,
+};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,12}"
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Any),
+        arb_name().prop_map(Pattern::Exact),
+        arb_name().prop_map(Pattern::Prefix),
+        (0u32..=0x7FF, 0u32..=0x7FF).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            Pattern::IdRange { lo, hi }
+        }),
+    ]
+}
+
+fn arb_matcher() -> impl Strategy<Value = EntityMatcher> {
+    (prop_oneof![Just(None), arb_name().prop_map(Some)], arb_pattern()).prop_map(|(ns, p)| {
+        match ns {
+            Some(ns) => EntityMatcher::new(ns, p),
+            None => EntityMatcher::any_namespace(p),
+        }
+    })
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    let leaf = prop_oneof![
+        Just(Condition::Always),
+        arb_name().prop_map(Condition::InMode),
+        (arb_name(), arb_name())
+            .prop_map(|(key, value)| Condition::StateEquals { key, value }),
+        (arb_name(), 0u32..100)
+            .prop_map(|(key, max_per_sec)| Condition::RateAtMost { key, max_per_sec }),
+    ];
+    // Composite conditions use 2+ children: the parser normalises
+    // singleton All/AnyOf away (parse("(x)") == x), so singletons cannot
+    // round-trip structurally and are unreachable from the DSL anyway.
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Condition::All),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Condition::AnyOf),
+            inner.prop_map(|c| Condition::Not(Box::new(c))),
+        ]
+    })
+}
+
+fn arb_actions() -> impl Strategy<Value = ActionSet> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Action::Read),
+            Just(Action::Write),
+            Just(Action::Execute),
+            Just(Action::Configure)
+        ],
+        1..=4,
+    )
+    .prop_map(|v| ActionSet::of(&v))
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    (
+        arb_name(),
+        1u64..100,
+        any::<bool>(),
+        prop::collection::vec(
+            (arb_actions(), arb_matcher(), arb_matcher(), arb_condition(), -10i32..10, any::<bool>()),
+            0..6,
+        ),
+    )
+        .prop_map(|(name, version, default_allow, rules)| {
+            let mut p = Policy::new(name, version).with_default(if default_allow {
+                Effect::Allow
+            } else {
+                Effect::Deny
+            });
+            for (i, (actions, subject, object, condition, priority, allow)) in
+                rules.into_iter().enumerate()
+            {
+                let effect = if allow { Effect::Allow } else { Effect::Deny };
+                p = p
+                    .add_rule(
+                        Rule::new(format!("rule-{i}"), effect, actions, subject, object)
+                            .when(condition)
+                            .with_priority(priority),
+                    )
+                    .expect("generated ids are unique");
+            }
+            p
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = AccessRequest> {
+    (
+        arb_name(),
+        arb_name(),
+        prop_oneof![Just(Action::Read), Just(Action::Write), Just(Action::Execute)],
+    )
+        .prop_map(|(s, o, a)| {
+            AccessRequest::new(EntityId::new("entry", s), EntityId::new("asset", o), a)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dsl_round_trips_every_policy(policy in arb_policy()) {
+        let text = print_policy(&policy);
+        let parsed = parse_policy(&text)
+            .unwrap_or_else(|e| panic!("printed policy failed to parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, policy);
+    }
+
+    #[test]
+    fn decisions_are_deterministic(policy in arb_policy(), request in arb_request()) {
+        let engine = PolicyEngine::new(PolicySet::from_policy(policy));
+        let ctx = EvalContext::new().with_mode("normal");
+        let a = engine.decide(&request, &ctx);
+        let b = engine.decide(&request, &ctx);
+        prop_assert_eq!(a.effect(), b.effect());
+        prop_assert_eq!(a.rule(), b.rule());
+    }
+
+    #[test]
+    fn indexing_never_changes_decisions(policy in arb_policy(), request in arb_request()) {
+        let set = PolicySet::from_policy(policy);
+        let indexed = PolicyEngine::new(set.clone()).with_indexing(true);
+        let linear = PolicyEngine::new(set).with_indexing(false);
+        let ctx = EvalContext::new().with_mode("normal");
+        prop_assert_eq!(
+            indexed.decide(&request, &ctx).effect(),
+            linear.decide(&request, &ctx).effect()
+        );
+    }
+
+    #[test]
+    fn deny_overrides_is_no_more_permissive_than_any_strategy(
+        policy in arb_policy(),
+        request in arb_request(),
+    ) {
+        // If deny-overrides allows, then some applying rule allowed and no
+        // applying rule denied — so first-match must also allow.
+        let set = PolicySet::from_policy(policy);
+        let deny_overrides = PolicyEngine::new(set.clone());
+        let first_match = PolicyEngine::new(set).with_strategy(CombiningStrategy::FirstMatch);
+        let ctx = EvalContext::new().with_mode("normal");
+        let do_decision = deny_overrides.decide(&request, &ctx);
+        if do_decision.is_allow() && do_decision.rule().is_some() {
+            prop_assert!(
+                first_match.decide(&request, &ctx).is_allow(),
+                "deny-overrides allowed via a rule but first-match denied"
+            );
+        }
+    }
+
+    #[test]
+    fn unmatched_requests_get_the_default_effect(request in arb_request()) {
+        let deny = PolicyEngine::from_policy(Policy::new("empty", 1));
+        let d = deny.decide(&request, &EvalContext::new());
+        prop_assert_eq!(d.effect(), Effect::Deny);
+        prop_assert!(d.rule().is_none());
+
+        let allow = PolicyEngine::from_policy(Policy::new("open", 1).with_default(Effect::Allow));
+        prop_assert!(allow.decide(&request, &EvalContext::new()).is_allow());
+    }
+
+    #[test]
+    fn condition_negation_is_involutive(cond in arb_condition()) {
+        let ctx = EvalContext::new().with_mode("normal").with_state("k", "v");
+        let double_not = Condition::Not(Box::new(Condition::Not(Box::new(cond.clone()))));
+        prop_assert_eq!(cond.eval(&ctx), double_not.eval(&ctx));
+    }
+}
