@@ -1,7 +1,9 @@
 //! E4: policy-engine evaluation throughput.
 //!
-//! Sweeps rule count, compares combining strategies, and ablates the
-//! subject index (DESIGN.md §5.1).
+//! Sweeps rule count, compares combining strategies, and ablates both the
+//! subject index and the generation-tagged decision cache (DESIGN.md §5.1;
+//! the fast-path mechanics — interning, atomic telemetry, `GenCache` — are
+//! described in DESIGN.md §6).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polsec_core::{
@@ -48,12 +50,52 @@ fn bench_rule_count_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Prefix-matched subjects cannot enter the exact-subject index, so the
+/// uncached path walks rules — the workload the decision cache rescues.
+fn wildcard_policy(n: usize) -> Policy {
+    let mut p = Policy::new("bench-wild", 1);
+    for i in 0..n {
+        p = p
+            .add_rule(Rule::new(
+                format!("w{i}"),
+                if i % 4 == 0 { Effect::Deny } else { Effect::Allow },
+                ActionSet::of(&[Action::Read, Action::Write]),
+                EntityMatcher::new("entry", Pattern::Prefix(format!("grp{i}-"))),
+                EntityMatcher::new("asset", Pattern::Exact(format!("asset-{}", i % 16))),
+            ))
+            .expect("unique rule ids");
+    }
+    p
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine/cache_ablation");
+    let n = 1_000;
+    for (label, caching) in [("cached_hit", true), ("uncached_walk", false)] {
+        let engine = PolicyEngine::new(PolicySet::from_policy(wildcard_policy(n)))
+            .with_caching(caching);
+        let ctx = EvalContext::new().with_mode("normal");
+        let req = AccessRequest::new(
+            EntityId::new("entry", format!("grp{}-node", n / 2)),
+            EntityId::new("asset", format!("asset-{}", (n / 2) % 16)),
+            Action::Read,
+        );
+        engine.decide(&req, &ctx); // warm
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.decide(black_box(&req), &ctx)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_index_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_engine/index_ablation");
     let n = 1_000;
     for (label, indexing) in [("indexed", true), ("linear", false)] {
+        // caching off so this ablation keeps measuring raw rule walks
         let engine = PolicyEngine::new(PolicySet::from_policy(policy_with_rules(n)))
-            .with_indexing(indexing);
+            .with_indexing(indexing)
+            .with_caching(false);
         let ctx = EvalContext::new();
         let req = request(n - 1);
         group.bench_function(label, |b| {
@@ -87,5 +129,5 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30);
-    targets = bench_rule_count_sweep, bench_index_ablation, bench_strategies);
+    targets = bench_rule_count_sweep, bench_cache_ablation, bench_index_ablation, bench_strategies);
 criterion_main!(benches);

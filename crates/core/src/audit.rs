@@ -101,6 +101,24 @@ impl AuditLog {
         self.next_seq += 1;
     }
 
+    /// Pushes an already-materialised record, preserving its sequence
+    /// number (used by the engine when merging its sharded buffers).
+    pub(crate) fn push_materialised(&mut self, record: AuditRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// Overwrites the aggregate counters (used by the engine, whose
+    /// authoritative counters are its own atomics).
+    pub(crate) fn set_aggregates(&mut self, total: u64, allows: u64, denies: u64, defaults: u64) {
+        self.next_seq = total;
+        self.allows = allows;
+        self.denies = denies;
+        self.defaults = defaults;
+    }
+
     /// Retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &AuditRecord> {
         self.records.iter()

@@ -3,14 +3,52 @@
 //! The paper's §IV: "should the security requirements of the device change
 //! after production … the OEM can distribute a policy definition update."
 //! A [`PolicyBundle`] is the update artefact — a version number plus the
-//! policies it carries — and a [`SignedBundle`] is its wire form: canonical
-//! JSON payload plus an HMAC-SHA-256 tag under the OEM key.
+//! policies it carries — and a [`SignedBundle`] is its wire form: a
+//! canonical text payload (a small header plus the policies in canonical
+//! DSL form, which round-trips by construction) plus an HMAC-SHA-256 tag
+//! under the OEM key.
 
+use crate::dsl::{parse_policies, print_policy};
 use crate::error::PolicyError;
 use crate::policy::Policy;
 use crate::sign::{digests_equal, from_hex, hmac_sha256, to_hex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Magic first line of the canonical payload.
+const BUNDLE_MAGIC: &str = "polsec-bundle/1";
+
+fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
 
 /// An unsigned policy update bundle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,13 +72,57 @@ impl PolicyBundle {
         }
     }
 
-    /// Serialises to the canonical JSON payload bytes that get signed.
-    ///
-    /// `serde_json` with struct types is deterministic for a fixed input
-    /// (field order follows declaration), which is all canonicalisation
-    /// needs here.
+    /// Serialises to the canonical payload bytes that get signed: a
+    /// header (magic, version, escaped rationale) followed by every policy
+    /// printed in canonical DSL form. The DSL printer is deterministic and
+    /// `parse(print(p)) == p` is property-tested, which is all
+    /// canonicalisation needs.
     pub fn payload(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("bundle serialisation cannot fail")
+        let mut out = String::new();
+        out.push_str(BUNDLE_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("version {}\n", self.version));
+        out.push_str(&format!("rationale {}\n", escape_line(&self.rationale)));
+        for p in &self.policies {
+            out.push('\n');
+            out.push_str(&print_policy(p));
+        }
+        out.into_bytes()
+    }
+
+    /// Parses canonical payload bytes back into a bundle.
+    ///
+    /// # Errors
+    /// [`PolicyError::MalformedBundle`] when the header or any policy does
+    /// not parse.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, PolicyError> {
+        let text = std::str::from_utf8(payload).map_err(|_| PolicyError::MalformedBundle {
+            detail: "payload is not utf-8".into(),
+        })?;
+        let malformed = |detail: &str| PolicyError::MalformedBundle { detail: detail.into() };
+        let mut lines = text.lines();
+        if lines.next() != Some(BUNDLE_MAGIC) {
+            return Err(malformed("missing bundle magic"));
+        }
+        let version = lines
+            .next()
+            .and_then(|l| l.strip_prefix("version "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .ok_or_else(|| malformed("missing or invalid version line"))?;
+        let rationale = lines
+            .next()
+            .and_then(|l| l.strip_prefix("rationale "))
+            .map(unescape_line)
+            .ok_or_else(|| malformed("missing rationale line"))?;
+        let rest: String = lines.collect::<Vec<_>>().join("\n");
+        let policies = if rest.trim().is_empty() {
+            Vec::new()
+        } else {
+            parse_policies(&rest).map_err(|e| PolicyError::MalformedBundle {
+                detail: e.to_string(),
+            })?
+        };
+        Ok(PolicyBundle { version, rationale, policies })
     }
 
     /// Signs the bundle under `key`, producing the wire artefact.
@@ -101,9 +183,7 @@ impl SignedBundle {
         if !digests_equal(&expected, &given) {
             return Err(PolicyError::BadSignature);
         }
-        serde_json::from_slice(&self.payload).map_err(|e| PolicyError::MalformedBundle {
-            detail: e.to_string(),
-        })
+        PolicyBundle::from_payload(&self.payload)
     }
 
     /// Builds a signed bundle from raw parts (e.g. received bytes) without

@@ -10,6 +10,18 @@ use crate::request::EvalContext;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A provider of live event rates, consulted by
+/// [`Condition::RateAtMost`] during evaluation.
+///
+/// [`EvalContext`] implements this over its caller-set rates; the engine
+/// implements it over its per-key atomic counters (falling back to the
+/// context), so rate conditions read fresh values without the context
+/// being cloned or mutated per decision.
+pub trait RateSource {
+    /// The sustained events-per-second for `key` (0.0 when unknown).
+    fn rate_per_sec(&self, key: &str) -> f64;
+}
+
 /// A predicate over the evaluation context.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[derive(Default)]
@@ -44,18 +56,39 @@ pub enum Condition {
 }
 
 impl Condition {
-    /// Evaluates the condition against a context.
+    /// Evaluates the condition against a context, reading rates from the
+    /// context itself.
     pub fn eval(&self, ctx: &EvalContext) -> bool {
+        self.eval_with(ctx, ctx)
+    }
+
+    /// Evaluates the condition against a context with rates supplied by an
+    /// explicit [`RateSource`] (the engine's live counters).
+    pub fn eval_with(&self, ctx: &EvalContext, rates: &dyn RateSource) -> bool {
         match self {
             Condition::Always => true,
             Condition::InMode(m) => ctx.mode() == Some(m.as_str()),
             Condition::StateEquals { key, value } => ctx.state(key) == Some(value.as_str()),
             Condition::RateAtMost { key, max_per_sec } => {
-                ctx.rate_per_sec(key) <= *max_per_sec as f64
+                rates.rate_per_sec(key) <= *max_per_sec as f64
             }
-            Condition::All(cs) => cs.iter().all(|c| c.eval(ctx)),
-            Condition::AnyOf(cs) => cs.iter().any(|c| c.eval(ctx)),
-            Condition::Not(c) => !c.eval(ctx),
+            Condition::All(cs) => cs.iter().all(|c| c.eval_with(ctx, rates)),
+            Condition::AnyOf(cs) => cs.iter().any(|c| c.eval_with(ctx, rates)),
+            Condition::Not(c) => !c.eval_with(ctx, rates),
+        }
+    }
+
+    /// Whether a decision gated by this condition may be cached on a
+    /// `(subject, object, action, mode)` key: true when the condition
+    /// depends on nothing outside that key. `StateEquals` and `RateAtMost`
+    /// read context state the key does not capture, so they are unsafe to
+    /// cache; `InMode` is safe because the mode is part of the key.
+    pub fn is_cache_safe(&self) -> bool {
+        match self {
+            Condition::Always | Condition::InMode(_) => true,
+            Condition::StateEquals { .. } | Condition::RateAtMost { .. } => false,
+            Condition::All(cs) | Condition::AnyOf(cs) => cs.iter().all(Condition::is_cache_safe),
+            Condition::Not(c) => c.is_cache_safe(),
         }
     }
 
@@ -214,5 +247,42 @@ mod tests {
     #[test]
     fn default_is_always() {
         assert_eq!(Condition::default(), Condition::Always);
+    }
+
+    #[test]
+    fn cache_safety_analysis() {
+        assert!(Condition::Always.is_cache_safe());
+        assert!(Condition::InMode("normal".into()).is_cache_safe());
+        assert!(!Condition::StateEquals { key: "k".into(), value: "v".into() }.is_cache_safe());
+        assert!(!Condition::RateAtMost { key: "r".into(), max_per_sec: 1 }.is_cache_safe());
+        // combinators propagate the weakest member
+        assert!(Condition::All(vec![Condition::Always, Condition::InMode("m".into())])
+            .is_cache_safe());
+        assert!(!Condition::AnyOf(vec![
+            Condition::Always,
+            Condition::RateAtMost { key: "r".into(), max_per_sec: 1 }
+        ])
+        .is_cache_safe());
+        assert!(!Condition::Not(Box::new(Condition::StateEquals {
+            key: "k".into(),
+            value: "v".into()
+        }))
+        .is_cache_safe());
+    }
+
+    #[test]
+    fn eval_with_overrides_rate_source() {
+        struct Fixed(f64);
+        impl RateSource for Fixed {
+            fn rate_per_sec(&self, _key: &str) -> f64 {
+                self.0
+            }
+        }
+        let c = Condition::RateAtMost { key: "burst".into(), max_per_sec: 5 };
+        let ctx = EvalContext::new();
+        assert!(c.eval_with(&ctx, &Fixed(5.0)));
+        assert!(!c.eval_with(&ctx, &Fixed(6.0)));
+        // plain eval falls back to the context's own rates
+        assert!(c.eval(&ctx), "unknown key reads 0.0");
     }
 }

@@ -11,20 +11,39 @@
 //! * **priority-order**: the applying rule with the highest priority wins;
 //!   priority ties resolve to deny.
 //!
-//! The engine keeps a subject index (exact `namespace:name` → rules) so
-//! common requests skip non-matching rules; the E4 bench ablates this.
-//! It also owns the sliding-window rate tracker backing
-//! [`Condition::RateAtMost`](crate::Condition::RateAtMost) and an
-//! [`AuditLog`]. Both live behind [`parking_lot`] locks so `decide` takes
-//! `&self` and the engine is `Sync` — enforcement points share one engine.
+//! # The decision fast path (DESIGN.md §6)
+//!
+//! `decide` takes `&self`, and on a cache hit performs **zero heap
+//! allocations and takes zero contended locks**:
+//!
+//! * entity names, rule ids and modes are interned [`Symbol`]s, so the
+//!   subject index is keyed by two `u32`s and no per-request strings exist;
+//! * statistics are plain atomic counters;
+//! * rate windows are per-key atomic bucket rings, consulted only when a
+//!   candidate rule actually references [`Condition::RateAtMost`]
+//!   (a rate-dependency map computed at load time);
+//! * the audit trail is a set of sharded, pre-allocated rings picked by
+//!   thread, merged only when read;
+//! * decisions themselves are cached in a generation-tagged
+//!   [`GenCache`](crate::cache::GenCache) keyed by
+//!   `(subject, object, action, mode)`; [`PolicyEngine::reload`] bumps the
+//!   generation so stale entries can never answer. Rules whose conditions
+//!   read state or rates are excluded from caching by construction.
+//!
+//! [`Decision`]s are `Copy` and build their human-readable reason string
+//! lazily, on demand.
 
-use crate::audit::AuditLog;
+use crate::audit::{AuditLog, AuditRecord};
+use crate::cache::{GenCache, KEY_VALID};
+use crate::condition::RateSource;
+use crate::intern::Symbol;
 use crate::policy::{Effect, PolicySet, Rule};
 use crate::request::{AccessRequest, EvalContext};
-use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// How applying rules combine into one decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -49,12 +68,32 @@ impl fmt::Display for CombiningStrategy {
     }
 }
 
+/// Why a decision came out the way it did (reason text is derived lazily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ReasonKind {
+    Default,
+    FirstMatch,
+    DenyOverrides,
+    AllowNoDeny,
+    Priority(i32),
+}
+
 /// The engine's answer for one request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Decisions are `Copy`: the determining rule is referenced by its interned
+/// `policy.rule` name and the explanation string is built on demand by
+/// [`Decision::reason`], not allocated per decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Decision {
     effect: Effect,
-    rule: Option<String>,
-    reason: String,
+    rule: Option<RuleTag>,
+    kind: ReasonKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct RuleTag {
+    qualified: &'static str,
+    id: &'static str,
 }
 
 impl Decision {
@@ -70,46 +109,138 @@ impl Decision {
 
     /// The determining rule as `policy.rule`, or `None` for a default
     /// decision.
-    pub fn rule(&self) -> Option<&str> {
-        self.rule.as_deref()
+    pub fn rule(&self) -> Option<&'static str> {
+        self.rule.map(|t| t.qualified)
     }
 
-    /// Human-readable explanation.
-    pub fn reason(&self) -> &str {
-        &self.reason
+    /// Human-readable explanation, built on demand.
+    pub fn reason(&self) -> String {
+        match (self.kind, self.rule) {
+            (ReasonKind::Default, _) => {
+                format!("no rule applies; default {}", self.effect)
+            }
+            (ReasonKind::FirstMatch, Some(t)) => format!("first matching rule {}", t.id),
+            (ReasonKind::DenyOverrides, Some(t)) => {
+                format!("deny-overrides: rule {} denies", t.id)
+            }
+            (ReasonKind::AllowNoDeny, Some(t)) => {
+                format!("allowed by rule {}, no deny applies", t.id)
+            }
+            (ReasonKind::Priority(p), Some(t)) => format!("priority {p} rule {}", t.qualified),
+            // A rule-kind without a tag cannot be constructed by the engine.
+            (_, None) => format!("{}", self.effect),
+        }
     }
 }
 
 impl fmt::Display for Decision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({})", self.effect, self.reason)
+        write!(f, "{} ({})", self.effect, self.reason())
     }
-}
-
-/// Sliding-window event rate tracker (1-second window).
-#[derive(Debug, Default)]
-struct RateTracker {
-    windows: HashMap<String, VecDeque<u64>>,
 }
 
 /// Window length for rate conditions, in microseconds.
 const RATE_WINDOW_US: u64 = 1_000_000;
+/// Ring granularity: 16 buckets of 62.5 ms cover the 1-second window.
+const RATE_BUCKETS: usize = 16;
+const RATE_BUCKET_US: u64 = RATE_WINDOW_US / RATE_BUCKETS as u64;
 
-impl RateTracker {
-    fn observe(&mut self, key: &str, now_us: u64) {
-        let w = self.windows.entry(key.to_string()).or_default();
-        w.push_back(now_us);
-        Self::prune(w, now_us);
+/// A lock-free sliding-window counter: a ring of `(epoch, count)` pairs
+/// packed into `AtomicU64`s. `observe` and `count` are wait-free apart
+/// from a CAS retry under contention on the same bucket.
+#[derive(Debug, Default)]
+struct AtomicWindow {
+    buckets: [AtomicU64; RATE_BUCKETS],
+}
+
+impl AtomicWindow {
+    fn observe(&self, now_us: u64) {
+        let epoch = (now_us / RATE_BUCKET_US) as u32;
+        let slot = &self.buckets[epoch as usize % RATE_BUCKETS];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let next = if (cur >> 32) as u32 == epoch {
+                cur + 1 // same epoch: bump the count half
+            } else {
+                (u64::from(epoch) << 32) | 1 // stale bucket: restart it
+            };
+            match slot.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
-    fn rate(&mut self, key: &str, now_us: u64) -> f64 {
-        match self.windows.get_mut(key) {
-            Some(w) => {
-                Self::prune(w, now_us);
-                w.len() as f64
-            }
-            None => 0.0,
+    fn count(&self, now_us: u64) -> u64 {
+        let epoch = (now_us / RATE_BUCKET_US) as u32;
+        let oldest = epoch.saturating_sub(RATE_BUCKETS as u32 - 1);
+        self.buckets
+            .iter()
+            .map(|b| {
+                let v = b.load(Ordering::Acquire);
+                let e = (v >> 32) as u32;
+                if (oldest..=epoch).contains(&e) {
+                    v & 0xFFFF_FFFF
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    fn snapshot_into(&self, other: &AtomicWindow) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            b.store(a.load(Ordering::Acquire), Ordering::Release);
         }
+    }
+}
+
+/// Bound on dynamically-tracked (undeclared) rate keys.
+const MAX_DYNAMIC_RATE_KEYS: usize = 1_024;
+
+/// Exact timestamp tracking for keys the loaded policies do *not* declare.
+/// These never influence decisions directly (only declared keys do) but are
+/// retained — bounded and pruned — so observations made shortly before a
+/// policy reload that declares the key are not lost. Keys are owned
+/// strings, **not** interned: interning leaks one allocation per distinct
+/// string for the process lifetime, which would defeat the bound for
+/// callers feeding per-session keys.
+#[derive(Debug, Default)]
+struct DynamicRates {
+    windows: HashMap<String, VecDeque<u64>>,
+}
+
+impl DynamicRates {
+    fn observe(&mut self, key: &str, now_us: u64) {
+        if let Some(w) = self.windows.get_mut(key) {
+            w.push_back(now_us);
+            Self::prune(w, now_us);
+            return;
+        }
+        if self.windows.len() >= MAX_DYNAMIC_RATE_KEYS {
+            self.sweep(now_us);
+            if self.windows.len() >= MAX_DYNAMIC_RATE_KEYS {
+                // Still full of live keys: evict the one idle the longest.
+                if let Some(stalest) = self
+                    .windows
+                    .iter()
+                    .min_by_key(|(_, w)| w.back().copied().unwrap_or(0))
+                    .map(|(k, _)| k.clone())
+                {
+                    self.windows.remove(&stalest);
+                }
+            }
+        }
+        self.windows
+            .insert(key.to_string(), VecDeque::from([now_us]));
+    }
+
+    /// Prunes every window and drops the empty ones.
+    fn sweep(&mut self, now_us: u64) {
+        self.windows.retain(|_, w| {
+            Self::prune(w, now_us);
+            !w.is_empty()
+        });
     }
 
     fn prune(w: &mut VecDeque<u64>, now_us: u64) {
@@ -118,6 +249,85 @@ impl RateTracker {
             w.pop_front();
         }
     }
+
+    fn take(&mut self, key: &str) -> Option<VecDeque<u64>> {
+        self.windows.remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+/// Declared-key atomic windows plus the bounded dynamic overflow.
+#[derive(Debug, Default)]
+struct RateTable {
+    declared: HashMap<Symbol, usize>,
+    windows: Vec<AtomicWindow>,
+    dynamic: Mutex<DynamicRates>,
+}
+
+impl RateTable {
+    fn observe(&self, key: &str, now_us: u64) {
+        // try_get, never intern: undeclared keys must not leak interner
+        // entries (declared keys were interned once at rebuild).
+        if let Some(&i) = Symbol::try_get(key).and_then(|s| self.declared.get(&s)) {
+            self.windows[i].observe(now_us);
+        } else {
+            lock(&self.dynamic).observe(key, now_us);
+        }
+    }
+
+    fn declared_rate(&self, key: &str, now_us: u64) -> Option<f64> {
+        let sym = Symbol::try_get(key)?;
+        let &i = self.declared.get(&sym)?;
+        Some(self.windows[i].count(now_us) as f64)
+    }
+
+    /// Rebuilds the declared set, carrying over windows for keys that stay
+    /// declared and replaying recent dynamic observations for keys that
+    /// become declared.
+    fn rebuild(&mut self, keys: impl Iterator<Item = Symbol>) {
+        let old_declared = std::mem::take(&mut self.declared);
+        let old_windows = std::mem::take(&mut self.windows);
+        let mut dynamic = lock(&self.dynamic);
+        for sym in keys {
+            let idx = self.windows.len();
+            let window = AtomicWindow::default();
+            if let Some(&old) = old_declared.get(&sym) {
+                old_windows[old].snapshot_into(&window);
+            } else if let Some(times) = dynamic.take(sym.as_str()) {
+                for t in times {
+                    window.observe(t);
+                }
+            }
+            self.windows.push(window);
+            self.declared.insert(sym, idx);
+        }
+    }
+
+    fn dynamic_key_count(&self) -> usize {
+        lock(&self.dynamic).len()
+    }
+}
+
+/// The engine's live rates layered over the caller's context rates.
+struct RateOverlay<'a> {
+    table: &'a RateTable,
+    ctx: &'a EvalContext,
+    now_us: u64,
+}
+
+impl RateSource for RateOverlay<'_> {
+    fn rate_per_sec(&self, key: &str) -> f64 {
+        self.table
+            .declared_rate(key, self.now_us)
+            .unwrap_or_else(|| self.ctx.rate_per_sec(key))
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Evaluation statistics.
@@ -133,21 +343,162 @@ pub struct EngineStats {
     pub defaults: u64,
     /// Rules examined across all decisions (index effectiveness metric).
     pub rules_examined: u64,
+    /// Decisions answered from the decision cache.
+    pub cache_hits: u64,
+    /// Cacheable decisions that had to evaluate rules.
+    pub cache_misses: u64,
 }
 
-/// The policy evaluation engine. See the module docs for semantics.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    decisions: AtomicU64,
+    allows: AtomicU64,
+    denies: AtomicU64,
+    defaults: AtomicU64,
+    rules_examined: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Number of audit shards (power of two). With at least as many shards as
+/// deciding threads, audit appends effectively never contend.
+const AUDIT_SHARDS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct CompactAudit {
+    seq: u64,
+    time_us: u64,
+    request: AccessRequest,
+    effect: Effect,
+    rule: Option<&'static str>,
+}
+
+/// Sharded, pre-allocated audit rings: `decide` never blocks `decide` on
+/// the audit trail, and appends never allocate.
+struct AuditSink {
+    shards: Box<[Mutex<VecDeque<CompactAudit>>]>,
+    per_shard: usize,
+    capacity: usize,
+    seq: AtomicU64,
+}
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SHARD.with(|s| *s)
+}
+
+impl AuditSink {
+    fn new(capacity: usize) -> Self {
+        // Each shard retains the full capacity: a single-threaded engine
+        // writes one shard only and must still keep `capacity` records
+        // (the merged snapshot truncates to the newest `capacity`).
+        let per_shard = capacity.max(1);
+        AuditSink {
+            shards: (0..AUDIT_SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_shard)))
+                .collect(),
+            per_shard,
+            capacity,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, time_us: u64, request: AccessRequest, effect: Effect, rule: Option<&'static str>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut shard = lock(&self.shards[shard_index() % AUDIT_SHARDS]);
+        if shard.len() >= self.per_shard {
+            shard.pop_front();
+        }
+        shard.push_back(CompactAudit { seq, time_us, request, effect, rule });
+    }
+
+    fn snapshot(&self, counters: &EngineCounters) -> AuditLog {
+        let mut all: Vec<CompactAudit> = Vec::new();
+        for shard in self.shards.iter() {
+            all.extend(lock(shard).iter().copied());
+        }
+        all.sort_unstable_by_key(|r| r.seq);
+        if all.len() > self.capacity {
+            let cut = all.len() - self.capacity;
+            all.drain(..cut);
+        }
+        let mut log = AuditLog::with_capacity(self.capacity);
+        for r in all {
+            log.push_materialised(AuditRecord {
+                seq: r.seq,
+                time_us: r.time_us,
+                request: r.request,
+                effect: r.effect,
+                rule: r.rule.map(str::to_string),
+            });
+        }
+        log.set_aggregates(
+            self.seq.load(Ordering::Relaxed),
+            counters.allows.load(Ordering::Relaxed),
+            counters.denies.load(Ordering::Relaxed),
+            counters.defaults.load(Ordering::Relaxed),
+        );
+        log
+    }
+}
+
+/// A rule compiled for evaluation: the rule plus its pre-interned
+/// `policy.rule` name and condition analysis.
+#[derive(Debug)]
+struct CompiledRule {
+    rule: Rule,
+    qualified: &'static str,
+    id: &'static str,
+}
+
+#[derive(Debug, Default)]
+struct Bucket {
+    rules: Vec<u32>,
+    cache_safe: bool,
+}
+
+/// Default decision-cache capacity (slots).
+const DECISION_CACHE_SLOTS: usize = 8_192;
+
+/// The outcome of combining, before rendering into a `Decision`.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Default,
+    FirstMatch(u32),
+    DenyOverrides(u32),
+    AllowNoDeny(u32),
+    Priority(u32),
+}
+
+const KIND_DEFAULT: u64 = 0;
+const KIND_FIRST_MATCH: u64 = 1;
+const KIND_DENY_OVERRIDES: u64 = 2;
+const KIND_ALLOW_NO_DENY: u64 = 3;
+const KIND_PRIORITY: u64 = 4;
+
+/// The policy evaluation engine. See the module docs for semantics and for
+/// the fast-path design.
 pub struct PolicyEngine {
-    rules: Vec<(String, Rule)>, // (owning policy name, rule) in declaration order
+    rules: Vec<CompiledRule>,
     default_effect: Effect,
     strategy: CombiningStrategy,
     indexing: bool,
-    // exact-subject index: (namespace, name) → indices into `rules`
-    subject_index: HashMap<(String, String), Vec<usize>>,
+    caching: bool,
+    // exact-subject index: (namespace, name) symbols → candidate rules
+    subject_index: HashMap<(Symbol, Symbol), Bucket>,
     // rules whose subject matcher is not an exact key
-    unindexed: Vec<usize>,
-    audit: Mutex<AuditLog>,
-    rates: Mutex<RateTracker>,
-    stats: RwLock<EngineStats>,
+    unindexed: Vec<u32>,
+    unindexed_cache_safe: bool,
+    all_cache_safe: bool,
+    rates: RateTable,
+    audit: AuditSink,
+    counters: EngineCounters,
+    cache: GenCache,
+    generation: AtomicU32,
     set: PolicySet,
 }
 
@@ -158,24 +509,31 @@ impl fmt::Debug for PolicyEngine {
             .field("strategy", &self.strategy)
             .field("default_effect", &self.default_effect)
             .field("indexing", &self.indexing)
+            .field("caching", &self.caching)
+            .field("generation", &self.generation.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl PolicyEngine {
     /// Creates an engine over a policy set with the default strategy
-    /// (deny-overrides) and indexing enabled.
+    /// (deny-overrides), indexing and decision caching enabled.
     pub fn new(set: PolicySet) -> Self {
         let mut engine = PolicyEngine {
             rules: Vec::new(),
             default_effect: set.default_effect(),
             strategy: CombiningStrategy::default(),
             indexing: true,
+            caching: true,
             subject_index: HashMap::new(),
             unindexed: Vec::new(),
-            audit: Mutex::new(AuditLog::default()),
-            rates: Mutex::new(RateTracker::default()),
-            stats: RwLock::new(EngineStats::default()),
+            unindexed_cache_safe: true,
+            all_cache_safe: true,
+            rates: RateTable::default(),
+            audit: AuditSink::new(AuditLog::DEFAULT_CAPACITY),
+            counters: EngineCounters::default(),
+            cache: GenCache::with_capacity(DECISION_CACHE_SLOTS),
+            generation: AtomicU32::new(0),
             set,
         };
         engine.rebuild();
@@ -199,6 +557,13 @@ impl PolicyEngine {
         self
     }
 
+    /// Enables or disables the decision cache (for equivalence testing and
+    /// ablation; enabled by default).
+    pub fn with_caching(mut self, enabled: bool) -> Self {
+        self.caching = enabled;
+        self
+    }
+
     /// The active combining strategy.
     pub fn strategy(&self) -> CombiningStrategy {
         self.strategy
@@ -209,26 +574,68 @@ impl PolicyEngine {
         &self.set
     }
 
-    /// Replaces the policy set (a policy update taking effect) and rebuilds
-    /// indexes. Audit history and rate windows are preserved.
+    /// The decision-cache generation: bumped by every [`PolicyEngine::reload`],
+    /// so entries cached under an earlier policy can never answer.
+    pub fn cache_generation(&self) -> u32 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Number of dynamically-tracked (undeclared) rate keys currently held.
+    pub fn dynamic_rate_keys(&self) -> usize {
+        self.rates.dynamic_key_count()
+    }
+
+    /// Replaces the policy set (a policy update taking effect), rebuilds
+    /// indexes and invalidates the decision cache by bumping its
+    /// generation. Audit history and rate windows are preserved.
     pub fn reload(&mut self, set: PolicySet) {
         self.default_effect = set.default_effect();
         self.set = set;
         self.rebuild();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        // Erasing the slots as well means even a wrapped generation counter
+        // can never resurrect a stale entry.
+        self.cache.clear();
     }
 
     fn rebuild(&mut self) {
         self.rules.clear();
         self.subject_index.clear();
         self.unindexed.clear();
+        self.unindexed_cache_safe = true;
+        self.all_cache_safe = true;
         for (owner, rule) in self.set.rules() {
-            let idx = self.rules.len();
-            match rule.subject().exact_key() {
-                Some(key) => self.subject_index.entry(key).or_default().push(idx),
-                None => self.unindexed.push(idx),
+            let idx = self.rules.len() as u32;
+            let cache_safe = rule.condition().is_cache_safe();
+            self.all_cache_safe &= cache_safe;
+            match rule.subject().exact_key_symbols() {
+                Some(key) => {
+                    let bucket = self.subject_index.entry(key).or_insert(Bucket {
+                        rules: Vec::new(),
+                        cache_safe: true,
+                    });
+                    bucket.rules.push(idx);
+                    bucket.cache_safe &= cache_safe;
+                }
+                None => {
+                    self.unindexed.push(idx);
+                    self.unindexed_cache_safe &= cache_safe;
+                }
             }
-            self.rules.push((owner.to_string(), rule.clone()));
+            let qualified = Symbol::intern(&format!("{owner}.{}", rule.id())).as_str();
+            self.rules.push(CompiledRule {
+                qualified,
+                id: rule.id(),
+                rule: rule.clone(),
+            });
         }
+        // A decision is cacheable only if every rule that could apply is;
+        // unindexed rules are candidates for every request.
+        for bucket in self.subject_index.values_mut() {
+            bucket.cache_safe &= self.unindexed_cache_safe;
+        }
+        self.rates
+            .rebuild(self.set.rate_keys().iter().map(|k| Symbol::intern(k)));
     }
 
     /// Total number of rules loaded.
@@ -237,122 +644,196 @@ impl PolicyEngine {
     }
 
     /// Notes an event for a rate key at `now_us` (drives `RateAtMost`
-    /// conditions). Call once per observed event (e.g. per frame).
+    /// conditions). Call once per observed event (e.g. per frame). Keys
+    /// declared by the loaded policies update lock-free atomic windows;
+    /// undeclared keys fall into a bounded, pruned side table.
     pub fn observe_rate_event(&self, key: &str, now_us: u64) {
-        self.rates.lock().observe(key, now_us);
+        self.rates.observe(key, now_us);
     }
 
-    /// Decides a request. The context's rate fields are filled from the
-    /// engine's tracker before rule evaluation (caller-set rates for keys
-    /// the tracker knows are overwritten).
+    /// Decides a request at time 0.
     pub fn decide(&self, req: &AccessRequest, ctx: &EvalContext) -> Decision {
         self.decide_at(req, ctx, 0)
     }
 
     /// Decides a request at an explicit time (microseconds), which both
-    /// timestamps the audit record and prunes rate windows.
+    /// timestamps the audit record and positions the rate windows.
     pub fn decide_at(&self, req: &AccessRequest, ctx: &EvalContext, now_us: u64) -> Decision {
-        // Fill tracked rates into a working copy of the context.
-        let mut ctx = ctx.clone();
-        {
-            let mut rates = self.rates.lock();
-            for key in self.set.rate_keys() {
-                let r = rates.rate(&key, now_us);
-                ctx.set_rate(key, r);
-            }
-        }
-
-        // Candidate rules: exact-subject index hits + unindexed, in
-        // declaration order (merge preserves order because indices are
-        // ascending within each source).
-        let mut examined = 0u64;
-        let decision = if self.indexing {
-            let key = (
-                req.subject().namespace().to_string(),
-                req.subject().name().to_string(),
-            );
-            let indexed = self.subject_index.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
-            let merged = merge_sorted(indexed, &self.unindexed);
-            self.combine(req, &ctx, merged.iter().copied(), &mut examined)
+        let subject_key = (
+            req.subject().namespace_symbol(),
+            req.subject().name_symbol(),
+        );
+        let bucket = if self.indexing {
+            self.subject_index.get(&subject_key)
         } else {
-            self.combine(req, &ctx, 0..self.rules.len(), &mut examined)
+            None
         };
+        let cacheable = self.caching
+            && if self.indexing {
+                bucket.map_or(self.unindexed_cache_safe, |b| b.cache_safe)
+            } else {
+                self.all_cache_safe
+            };
 
-        {
-            let mut stats = self.stats.write();
-            stats.decisions += 1;
-            stats.rules_examined += examined;
-            match decision.effect {
-                Effect::Allow => stats.allows += 1,
-                Effect::Deny => stats.denies += 1,
-            }
-            if decision.rule.is_none() {
-                stats.defaults += 1;
+        let key = self.cache_key(req, ctx);
+        if cacheable {
+            if let Some(packed) = self.cache.lookup(key) {
+                let decision = self.unpack(packed);
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.finish(req, decision, 0, now_us);
+                return decision;
             }
         }
-        self.audit
-            .lock()
-            .record(now_us, req.clone(), decision.effect, decision.rule.clone());
+
+        let mut examined = 0u64;
+        let overlay = RateOverlay { table: &self.rates, ctx, now_us };
+        let outcome = if self.indexing {
+            let indexed: &[u32] = bucket.map(|b| b.rules.as_slice()).unwrap_or(&[]);
+            self.combine(
+                req,
+                ctx,
+                &overlay,
+                MergeSorted::new(indexed, &self.unindexed),
+                &mut examined,
+            )
+        } else {
+            self.combine(req, ctx, &overlay, 0..self.rules.len() as u32, &mut examined)
+        };
+        let decision = self.render(outcome);
+        if cacheable {
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache.insert(key, pack_outcome(outcome));
+        }
+        self.finish(req, decision, examined, now_us);
         decision
     }
 
-    fn combine<I: Iterator<Item = usize>>(
+    #[inline]
+    fn cache_key(&self, req: &AccessRequest, ctx: &EvalContext) -> [u64; 3] {
+        let s = req.subject();
+        let o = req.object();
+        let k0 = (u64::from(s.namespace_symbol().as_u32()) << 32)
+            | u64::from(s.name_symbol().as_u32());
+        let k1 = (u64::from(o.namespace_symbol().as_u32()) << 32)
+            | u64::from(o.name_symbol().as_u32());
+        let generation = u64::from(self.generation.load(Ordering::Acquire)) & 0xF_FFFF;
+        let (mode_present, mode) = match ctx.mode_symbol() {
+            Some(m) => (1u64, u64::from(m.as_u32())),
+            None => (0, 0),
+        };
+        let k2 = KEY_VALID
+            | (generation << 42)
+            | (mode_present << 41)
+            | (mode << 9)
+            | ((req.action() as u64) << 1);
+        [k0, k1, k2]
+    }
+
+    fn unpack(&self, packed: u64) -> Decision {
+        let idx = (packed >> 3) as u32;
+        match packed & 0b111 {
+            KIND_DEFAULT => self.render(Outcome::Default),
+            KIND_FIRST_MATCH => self.render(Outcome::FirstMatch(idx)),
+            KIND_DENY_OVERRIDES => self.render(Outcome::DenyOverrides(idx)),
+            KIND_ALLOW_NO_DENY => self.render(Outcome::AllowNoDeny(idx)),
+            _ => self.render(Outcome::Priority(idx)),
+        }
+    }
+
+    fn render(&self, outcome: Outcome) -> Decision {
+        let tag = |idx: u32| {
+            let r = &self.rules[idx as usize];
+            RuleTag { qualified: r.qualified, id: r.id }
+        };
+        match outcome {
+            Outcome::Default => Decision {
+                effect: self.default_effect,
+                rule: None,
+                kind: ReasonKind::Default,
+            },
+            Outcome::FirstMatch(i) => Decision {
+                effect: self.rules[i as usize].rule.effect(),
+                rule: Some(tag(i)),
+                kind: ReasonKind::FirstMatch,
+            },
+            Outcome::DenyOverrides(i) => Decision {
+                effect: Effect::Deny,
+                rule: Some(tag(i)),
+                kind: ReasonKind::DenyOverrides,
+            },
+            Outcome::AllowNoDeny(i) => Decision {
+                effect: Effect::Allow,
+                rule: Some(tag(i)),
+                kind: ReasonKind::AllowNoDeny,
+            },
+            Outcome::Priority(i) => Decision {
+                effect: self.rules[i as usize].rule.effect(),
+                rule: Some(tag(i)),
+                kind: ReasonKind::Priority(self.rules[i as usize].rule.priority()),
+            },
+        }
+    }
+
+    #[inline]
+    fn finish(&self, req: &AccessRequest, decision: Decision, examined: u64, now_us: u64) {
+        let c = &self.counters;
+        c.decisions.fetch_add(1, Ordering::Relaxed);
+        c.rules_examined.fetch_add(examined, Ordering::Relaxed);
+        match decision.effect {
+            Effect::Allow => c.allows.fetch_add(1, Ordering::Relaxed),
+            Effect::Deny => c.denies.fetch_add(1, Ordering::Relaxed),
+        };
+        if decision.rule.is_none() {
+            c.defaults.fetch_add(1, Ordering::Relaxed);
+        }
+        self.audit
+            .record(now_us, *req, decision.effect, decision.rule.map(|t| t.qualified));
+    }
+
+    fn combine<I: Iterator<Item = u32>>(
         &self,
         req: &AccessRequest,
         ctx: &EvalContext,
+        rates: &dyn RateSource,
         candidates: I,
         examined: &mut u64,
-    ) -> Decision {
+    ) -> Outcome {
         match self.strategy {
             CombiningStrategy::FirstMatch => {
                 for i in candidates {
                     *examined += 1;
-                    let (owner, rule) = &self.rules[i];
-                    if rule.applies(req, ctx) {
-                        return Decision {
-                            effect: rule.effect(),
-                            rule: Some(format!("{owner}.{}", rule.id())),
-                            reason: format!("first matching rule {}", rule.id()),
-                        };
+                    if self.rules[i as usize].rule.applies_with(req, ctx, rates) {
+                        return Outcome::FirstMatch(i);
                     }
                 }
-                self.default_decision()
+                Outcome::Default
             }
             CombiningStrategy::DenyOverrides => {
-                let mut allow: Option<(String, String)> = None;
+                let mut allow: Option<u32> = None;
                 for i in candidates {
                     *examined += 1;
-                    let (owner, rule) = &self.rules[i];
-                    if rule.applies(req, ctx) {
+                    let rule = &self.rules[i as usize].rule;
+                    if rule.applies_with(req, ctx, rates) {
                         if rule.effect() == Effect::Deny {
-                            return Decision {
-                                effect: Effect::Deny,
-                                rule: Some(format!("{owner}.{}", rule.id())),
-                                reason: format!("deny-overrides: rule {} denies", rule.id()),
-                            };
+                            return Outcome::DenyOverrides(i);
                         }
                         if allow.is_none() {
-                            allow = Some((owner.clone(), rule.id().to_string()));
+                            allow = Some(i);
                         }
                     }
                 }
                 match allow {
-                    Some((owner, id)) => Decision {
-                        effect: Effect::Allow,
-                        rule: Some(format!("{owner}.{id}")),
-                        reason: format!("allowed by rule {id}, no deny applies"),
-                    },
-                    None => self.default_decision(),
+                    Some(i) => Outcome::AllowNoDeny(i),
+                    None => Outcome::Default,
                 }
             }
             CombiningStrategy::PriorityOrder => {
-                let mut best: Option<(i32, Effect, String)> = None;
+                let mut best: Option<(i32, Effect, u32)> = None;
                 for i in candidates {
                     *examined += 1;
-                    let (owner, rule) = &self.rules[i];
-                    if rule.applies(req, ctx) {
-                        let key = format!("{owner}.{}", rule.id());
-                        let candidate = (rule.priority(), rule.effect(), key);
+                    let rule = &self.rules[i as usize].rule;
+                    if rule.applies_with(req, ctx, rates) {
+                        let candidate = (rule.priority(), rule.effect(), i);
                         best = Some(match best.take() {
                             None => candidate,
                             Some(cur) => {
@@ -367,52 +848,83 @@ impl PolicyEngine {
                     }
                 }
                 match best {
-                    Some((prio, effect, key)) => Decision {
-                        effect,
-                        rule: Some(key.clone()),
-                        reason: format!("priority {prio} rule {key}"),
-                    },
-                    None => self.default_decision(),
+                    Some((_, _, i)) => Outcome::Priority(i),
+                    None => Outcome::Default,
                 }
             }
         }
     }
 
-    fn default_decision(&self) -> Decision {
-        Decision {
-            effect: self.default_effect,
-            rule: None,
-            reason: format!("no rule applies; default {}", self.default_effect),
+    /// Snapshot of evaluation statistics.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            decisions: c.decisions.load(Ordering::Relaxed),
+            allows: c.allows.load(Ordering::Relaxed),
+            denies: c.denies.load(Ordering::Relaxed),
+            defaults: c.defaults.load(Ordering::Relaxed),
+            rules_examined: c.rules_examined.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
         }
     }
 
-    /// Snapshot of evaluation statistics.
-    pub fn stats(&self) -> EngineStats {
-        *self.stats.read()
-    }
-
-    /// Runs a closure over the audit log.
+    /// Runs a closure over a merged snapshot of the audit log.
     pub fn with_audit<R>(&self, f: impl FnOnce(&AuditLog) -> R) -> R {
-        f(&self.audit.lock())
+        f(&self.audit.snapshot(&self.counters))
     }
 }
 
-/// Merges two ascending index slices into one ascending vector.
-fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
+fn pack_outcome(outcome: Outcome) -> u64 {
+    let (kind, idx) = match outcome {
+        Outcome::Default => (KIND_DEFAULT, 0),
+        Outcome::FirstMatch(i) => (KIND_FIRST_MATCH, i),
+        Outcome::DenyOverrides(i) => (KIND_DENY_OVERRIDES, i),
+        Outcome::AllowNoDeny(i) => (KIND_ALLOW_NO_DENY, i),
+        Outcome::Priority(i) => (KIND_PRIORITY, i),
+    };
+    (u64::from(idx) << 3) | kind
+}
+
+/// Merges two ascending index slices without allocating.
+struct MergeSorted<'a> {
+    a: &'a [u32],
+    b: &'a [u32],
+    i: usize,
+    j: usize,
+}
+
+impl<'a> MergeSorted<'a> {
+    fn new(a: &'a [u32], b: &'a [u32]) -> Self {
+        MergeSorted { a, b, i: 0, j: 0 }
+    }
+}
+
+impl Iterator for MergeSorted<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match (self.a.get(self.i), self.b.get(self.j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    self.i += 1;
+                    Some(x)
+                } else {
+                    self.j += 1;
+                    Some(y)
+                }
+            }
+            (Some(&x), None) => {
+                self.i += 1;
+                Some(x)
+            }
+            (None, Some(&y)) => {
+                self.j += 1;
+                Some(y)
+            }
+            (None, None) => None,
         }
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
 }
 
 #[cfg(test)]
@@ -570,6 +1082,7 @@ mod tests {
         let d = e.decide(&req("entry:x", "asset:y", Action::Read), &EvalContext::new());
         assert_eq!(d.effect(), Effect::Deny, "tie at priority 10 resolves to deny");
         assert_eq!(d.rule(), Some("p.high-deny"));
+        assert!(d.reason().contains("priority 10"));
     }
 
     #[test]
@@ -695,11 +1208,178 @@ mod tests {
     }
 
     #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let e = demo_engine(CombiningStrategy::DenyOverrides);
+        let ctx = EvalContext::new();
+        let r = req("entry:a", "asset:ecu", Action::Read);
+        let first = e.decide(&r, &ctx);
+        let stats = e.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        let second = e.decide(&r, &ctx);
+        let stats = e.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(first, second);
+        // a different request is its own miss
+        e.decide(&req("entry:b", "asset:ecu", Action::Read), &ctx);
+        assert_eq!(e.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn cached_decisions_still_audit_and_count() {
+        let e = demo_engine(CombiningStrategy::DenyOverrides);
+        let ctx = EvalContext::new();
+        let r = req("entry:a", "asset:ecu", Action::Write);
+        for _ in 0..5 {
+            e.decide(&r, &ctx);
+        }
+        let s = e.stats();
+        assert_eq!(s.decisions, 5);
+        assert_eq!(s.denies, 5);
+        assert_eq!(s.cache_hits, 4);
+        e.with_audit(|log| {
+            assert_eq!(log.len(), 5);
+            assert_eq!(log.denies(), 5);
+        });
+    }
+
+    #[test]
+    fn reload_invalidates_cached_decisions() {
+        let mut e = demo_engine(CombiningStrategy::DenyOverrides);
+        let r = req("entry:a", "asset:ecu", Action::Write);
+        let ctx = EvalContext::new();
+        // Warm the cache with a deny...
+        assert!(!e.decide(&r, &ctx).is_allow());
+        assert!(!e.decide(&r, &ctx).is_allow());
+        assert_eq!(e.stats().cache_hits, 1);
+        let generation_before = e.cache_generation();
+        // ...then reload with a policy that allows the same request.
+        let p2 = Policy::new("demo", 2)
+            .add_rule(
+                Rule::new(
+                    "r-write",
+                    Effect::Allow,
+                    ActionSet::all(),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                ),
+            )
+            .unwrap();
+        e.reload(PolicySet::from_policy(p2));
+        assert_eq!(e.cache_generation(), generation_before + 1);
+        // The stale cached deny must not answer.
+        let hits_before = e.stats().cache_hits;
+        assert!(e.decide(&r, &ctx).is_allow(), "stale generation entry answered");
+        assert_eq!(e.stats().cache_hits, hits_before, "reload must force a miss");
+    }
+
+    #[test]
+    fn mode_is_part_of_the_cache_key() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "diag",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .when(Condition::InMode("diag".into())),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let r = req("entry:x", "asset:y", Action::Write);
+        // Same request, different modes: both answers must be fresh and
+        // correct, then each repeat hits its own entry.
+        assert!(e.decide(&r, &EvalContext::new().with_mode("diag")).is_allow());
+        assert!(!e.decide(&r, &EvalContext::new().with_mode("normal")).is_allow());
+        assert!(e.decide(&r, &EvalContext::new().with_mode("diag")).is_allow());
+        assert!(!e.decide(&r, &EvalContext::new().with_mode("normal")).is_allow());
+        assert_eq!(e.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn state_conditions_bypass_the_cache() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "while-parked",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .when(Condition::StateEquals { key: "parked".into(), value: "yes".into() }),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let r = req("entry:x", "asset:y", Action::Write);
+        let parked = EvalContext::new().with_state("parked", "yes");
+        let moving = EvalContext::new().with_state("parked", "no");
+        assert!(e.decide(&r, &parked).is_allow());
+        assert!(!e.decide(&r, &moving).is_allow(), "state change must be seen");
+        assert!(e.decide(&r, &parked).is_allow());
+        let s = e.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0), "never cached");
+    }
+
+    #[test]
+    fn rate_conditions_bypass_the_cache() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "flood-gate",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .when(Condition::RateAtMost { key: "f".into(), max_per_sec: 1 }),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let r = req("entry:x", "asset:y", Action::Write);
+        let ctx = EvalContext::new();
+        assert!(e.decide_at(&r, &ctx, 1_000).is_allow());
+        e.observe_rate_event("f", 2_000);
+        e.observe_rate_event("f", 3_000);
+        assert!(!e.decide_at(&r, &ctx, 4_000).is_allow(), "rate change must be seen");
+        assert_eq!(e.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn caching_disabled_still_correct() {
+        let e = demo_engine(CombiningStrategy::DenyOverrides).with_caching(false);
+        let ctx = EvalContext::new();
+        let r = req("entry:a", "asset:ecu", Action::Read);
+        assert!(e.decide(&r, &ctx).is_allow());
+        assert!(e.decide(&r, &ctx).is_allow());
+        let s = e.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn dynamic_rate_keys_are_bounded_and_pruned(){
+        let e = demo_engine(CombiningStrategy::DenyOverrides);
+        // Undeclared keys go to the bounded side table...
+        for i in 0..2_000 {
+            e.observe_rate_event(&format!("burst-key-{i}"), 1_000 + i);
+        }
+        assert!(e.dynamic_rate_keys() <= 1_024, "dynamic keys must stay bounded");
+        // ...and a sweep far in the future prunes idle windows entirely.
+        e.observe_rate_event("late-key", 10_000_000_000);
+        for i in 0..1_100 {
+            e.observe_rate_event(&format!("late-{i}"), 10_000_000_000 + i);
+        }
+        assert!(e.dynamic_rate_keys() <= 1_024);
+    }
+
+    #[test]
     fn merge_sorted_interleaves() {
-        assert_eq!(merge_sorted(&[1, 4, 6], &[2, 3, 5]), vec![1, 2, 3, 4, 5, 6]);
-        assert_eq!(merge_sorted(&[], &[1]), vec![1]);
-        assert_eq!(merge_sorted(&[1], &[]), vec![1]);
-        assert_eq!(merge_sorted(&[], &[]), Vec::<usize>::new());
+        let collect = |a: &[u32], b: &[u32]| MergeSorted::new(a, b).collect::<Vec<u32>>();
+        assert_eq!(collect(&[1, 4, 6], &[2, 3, 5]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(collect(&[], &[1]), vec![1]);
+        assert_eq!(collect(&[1], &[]), vec![1]);
+        assert_eq!(collect(&[], &[]), Vec::<u32>::new());
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! govern CAN identifiers, threat-model assets and MAC processes uniformly.
 //! Rules match entities with [`Pattern`]s: exact, wildcard, prefix, or a
 //! numeric id range (the form the HPE compiles into id/mask filter entries).
+//!
+//! Entity names are **interned** (see [`crate::intern`]): an [`EntityId`]
+//! is two 4-byte [`Symbol`] handles, so ids are `Copy`, compare in O(1),
+//! and constructing one from already-seen strings allocates nothing. This
+//! is the foundation of the engine's zero-allocation decision path
+//! (DESIGN.md §6).
 
 use crate::error::PolicyError;
+use crate::intern::Symbol;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -21,18 +28,18 @@ use std::fmt;
 /// assert_eq!(e.numeric_name(), Some(0x1A0));
 /// # Ok::<(), polsec_core::PolicyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EntityId {
-    namespace: String,
-    name: String,
+    namespace: Symbol,
+    name: Symbol,
 }
 
 impl EntityId {
-    /// Creates an entity from namespace and name parts.
-    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+    /// Creates an entity from namespace and name parts, interning both.
+    pub fn new(namespace: impl AsRef<str>, name: impl AsRef<str>) -> Self {
         EntityId {
-            namespace: namespace.into(),
-            name: name.into(),
+            namespace: Symbol::intern(namespace.as_ref()),
+            name: Symbol::intern(name.as_ref()),
         }
     }
 
@@ -52,24 +59,48 @@ impl EntityId {
     }
 
     /// The namespace part.
-    pub fn namespace(&self) -> &str {
-        &self.namespace
+    pub fn namespace(&self) -> &'static str {
+        self.namespace.as_str()
     }
 
     /// The name part.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The interned namespace handle.
+    pub fn namespace_symbol(&self) -> Symbol {
+        self.namespace
+    }
+
+    /// The interned name handle.
+    pub fn name_symbol(&self) -> Symbol {
+        self.name
     }
 
     /// The name parsed as a number, accepting decimal or `0x` hex.
     pub fn numeric_name(&self) -> Option<u32> {
-        parse_number(&self.name)
+        parse_number(self.name())
+    }
+}
+
+// Symbol handles order by interning age, not text, so ordering is defined
+// explicitly over the resolved strings to keep lexical semantics.
+impl PartialOrd for EntityId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EntityId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.namespace(), self.name()).cmp(&(other.namespace(), other.name()))
     }
 }
 
 impl fmt::Display for EntityId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.namespace, self.name)
+        write!(f, "{}:{}", self.namespace(), self.name())
     }
 }
 
@@ -156,17 +187,20 @@ impl fmt::Display for Pattern {
 }
 
 /// A subject/object matcher: a namespace (exact or any) plus a name pattern.
+///
+/// The namespace constraint is stored interned, so the namespace test on
+/// the match path is a single integer comparison.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EntityMatcher {
-    namespace: Option<String>,
+    namespace: Option<Symbol>,
     pattern: Pattern,
 }
 
 impl EntityMatcher {
     /// Matcher for a specific namespace and pattern.
-    pub fn new(namespace: impl Into<String>, pattern: Pattern) -> Self {
+    pub fn new(namespace: impl AsRef<str>, pattern: Pattern) -> Self {
         EntityMatcher {
-            namespace: Some(namespace.into()),
+            namespace: Some(Symbol::intern(namespace.as_ref())),
             pattern,
         }
     }
@@ -189,7 +223,10 @@ impl EntityMatcher {
 
     /// Matcher for exactly one entity.
     pub fn exact(e: &EntityId) -> Self {
-        EntityMatcher::new(e.namespace(), Pattern::Exact(e.name().to_string()))
+        EntityMatcher {
+            namespace: Some(e.namespace_symbol()),
+            pattern: Pattern::Exact(e.name().to_string()),
+        }
     }
 
     /// Parses `namespace:pattern` (namespace `*` = any namespace).
@@ -213,8 +250,8 @@ impl EntityMatcher {
     }
 
     /// The namespace constraint (`None` = any).
-    pub fn namespace(&self) -> Option<&str> {
-        self.namespace.as_deref()
+    pub fn namespace(&self) -> Option<&'static str> {
+        self.namespace.map(Symbol::as_str)
     }
 
     /// The name pattern.
@@ -223,9 +260,10 @@ impl EntityMatcher {
     }
 
     /// Whether the matcher matches an entity.
+    #[inline]
     pub fn matches(&self, e: &EntityId) -> bool {
-        if let Some(ns) = &self.namespace {
-            if ns != e.namespace() {
+        if let Some(ns) = self.namespace {
+            if ns != e.namespace_symbol() {
                 return false;
             }
         }
@@ -236,7 +274,16 @@ impl EntityMatcher {
     /// used by the engine to index rules.
     pub fn exact_key(&self) -> Option<(String, String)> {
         match (&self.namespace, &self.pattern) {
-            (Some(ns), Pattern::Exact(name)) => Some((ns.clone(), name.clone())),
+            (Some(ns), Pattern::Exact(name)) => Some((ns.as_str().to_string(), name.clone())),
+            _ => None,
+        }
+    }
+
+    /// The interned form of [`EntityMatcher::exact_key`], used to build the
+    /// engine's subject index without owning strings.
+    pub fn exact_key_symbols(&self) -> Option<(Symbol, Symbol)> {
+        match (&self.namespace, &self.pattern) {
+            (Some(ns), Pattern::Exact(name)) => Some((*ns, Symbol::intern(name))),
             _ => None,
         }
     }
@@ -244,7 +291,7 @@ impl EntityMatcher {
 
 impl fmt::Display for EntityMatcher {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.namespace {
+        match self.namespace {
             Some(ns) => write!(f, "{ns}:{}", self.pattern),
             None => write!(f, "*:{}", self.pattern),
         }
@@ -278,6 +325,29 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn entity_ids_are_copy_and_interned() {
+        let a = EntityId::new("entry", "sensors");
+        let b = a; // Copy
+        assert_eq!(a, b);
+        let c = EntityId::new("entry", "sensors");
+        assert_eq!(a.name_symbol(), c.name_symbol());
+        assert_eq!(a.namespace_symbol(), c.namespace_symbol());
+    }
+
+    #[test]
+    fn entity_ordering_is_lexical() {
+        let mut v = vec![
+            EntityId::new("zeta", "a"),
+            EntityId::new("alpha", "b"),
+            EntityId::new("alpha", "a"),
+        ];
+        v.sort();
+        assert_eq!(v[0], EntityId::new("alpha", "a"));
+        assert_eq!(v[1], EntityId::new("alpha", "b"));
+        assert_eq!(v[2], EntityId::new("zeta", "a"));
     }
 
     #[test]
@@ -349,6 +419,10 @@ mod tests {
         let m = EntityMatcher::exact(&e);
         assert!(m.matches(&e));
         assert_eq!(m.exact_key(), Some(("asset".into(), "eps".into())));
+        assert_eq!(
+            m.exact_key_symbols(),
+            Some((e.namespace_symbol(), e.name_symbol()))
+        );
         assert_eq!(EntityMatcher::anything().exact_key(), None);
         assert_eq!(
             EntityMatcher::parse("can:0x1-0x2").unwrap().exact_key(),

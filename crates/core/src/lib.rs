@@ -26,7 +26,10 @@
 //!   and the device-side store with apply/rollback (the OEM "policy
 //!   definition update" of §IV),
 //! * [`sign`] — a self-contained SHA-256/HMAC implementation (simulation-
-//!   grade, test-vector checked; **not** production crypto).
+//!   grade, test-vector checked; **not** production crypto),
+//! * [`intern`] / [`cache`] — the decision fast path's substrate: global
+//!   string interning ([`Symbol`]) and the generation-tagged lock-free
+//!   cache shared with the enforcement crates (DESIGN.md §6).
 //!
 //! # Example
 //!
@@ -59,12 +62,14 @@
 pub mod action;
 pub mod audit;
 pub mod bundle;
+pub mod cache;
 pub mod compiler;
 pub mod condition;
 pub mod dsl;
 pub mod engine;
 pub mod entity;
 pub mod error;
+pub mod intern;
 pub mod policy;
 pub mod request;
 pub mod sign;
@@ -74,8 +79,10 @@ pub use action::{Action, ActionSet};
 pub use audit::{AuditLog, AuditRecord};
 pub use bundle::{PolicyBundle, SignedBundle};
 pub use compiler::compile_security_model;
-pub use condition::Condition;
-pub use engine::{CombiningStrategy, Decision, PolicyEngine};
+pub use cache::GenCache;
+pub use condition::{Condition, RateSource};
+pub use engine::{CombiningStrategy, Decision, EngineStats, PolicyEngine};
+pub use intern::Symbol;
 pub use entity::{EntityId, EntityMatcher, Pattern};
 pub use error::PolicyError;
 pub use policy::{Effect, Policy, PolicySet, Rule};

@@ -4,6 +4,7 @@ use crate::action::{Action, ActionSet};
 use crate::condition::Condition;
 use crate::entity::EntityMatcher;
 use crate::error::PolicyError;
+use crate::intern::Symbol;
 use crate::request::{AccessRequest, EvalContext};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -51,7 +52,7 @@ impl fmt::Display for Effect {
 /// (higher wins).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Rule {
-    id: String,
+    id: Symbol,
     effect: Effect,
     actions: ActionSet,
     subject: EntityMatcher,
@@ -63,14 +64,14 @@ pub struct Rule {
 impl Rule {
     /// Creates a rule with [`Condition::Always`] and priority 0.
     pub fn new(
-        id: impl Into<String>,
+        id: impl AsRef<str>,
         effect: Effect,
         actions: ActionSet,
         subject: EntityMatcher,
         object: EntityMatcher,
     ) -> Self {
         Rule {
-            id: id.into(),
+            id: Symbol::intern(id.as_ref()),
             effect,
             actions,
             subject,
@@ -93,8 +94,13 @@ impl Rule {
     }
 
     /// The rule id.
-    pub fn id(&self) -> &str {
-        &self.id
+    pub fn id(&self) -> &'static str {
+        self.id.as_str()
+    }
+
+    /// The interned rule id.
+    pub fn id_symbol(&self) -> Symbol {
+        self.id
     }
 
     /// The rule's effect.
@@ -129,10 +135,22 @@ impl Rule {
 
     /// Whether the rule applies to `req` in `ctx`.
     pub fn applies(&self, req: &AccessRequest, ctx: &EvalContext) -> bool {
+        self.applies_with(req, ctx, ctx)
+    }
+
+    /// Whether the rule applies, with rates read from an explicit
+    /// [`RateSource`](crate::condition::RateSource) (the engine's live
+    /// counters) instead of the context.
+    pub fn applies_with(
+        &self,
+        req: &AccessRequest,
+        ctx: &EvalContext,
+        rates: &dyn crate::condition::RateSource,
+    ) -> bool {
         self.actions.contains(req.action())
             && self.subject.matches(req.subject())
             && self.object.matches(req.object())
-            && self.condition.eval(ctx)
+            && self.condition.eval_with(ctx, rates)
     }
 
     /// Whether the rule covers `action` at all (context-independent).

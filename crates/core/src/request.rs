@@ -2,11 +2,15 @@
 
 use crate::action::Action;
 use crate::entity::EntityId;
+use crate::intern::Symbol;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One access request: *subject* wants to perform *action* on *object*.
+///
+/// Requests are `Copy` — two interned entity ids plus an action — so the
+/// decision path never clones strings to describe who is asking for what.
 ///
 /// # Example
 /// ```
@@ -18,7 +22,7 @@ use std::fmt;
 /// );
 /// assert_eq!(r.to_string(), "entry:telematics --write--> asset:door-locks");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AccessRequest {
     subject: EntityId,
     object: EntityId,
@@ -57,11 +61,13 @@ impl fmt::Display for AccessRequest {
 /// state variables and rate counters.
 ///
 /// Contexts are cheap to clone and carry no interior mutability; stateful
-/// tracking (rates over time) is the engine's job, which *writes* computed
-/// rates into the context before rule evaluation.
+/// tracking (rates over time) is the engine's job, which consults its own
+/// per-key counters during rule evaluation and falls back to the rates set
+/// here. The operating mode is interned so the engine's decision-cache key
+/// can include it without touching strings.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct EvalContext {
-    mode: Option<String>,
+    mode: Option<Symbol>,
     state: BTreeMap<String, String>,
     rates: BTreeMap<String, f64>,
 }
@@ -73,8 +79,8 @@ impl EvalContext {
     }
 
     /// Sets the operating mode (builder style).
-    pub fn with_mode(mut self, mode: impl Into<String>) -> Self {
-        self.mode = Some(mode.into());
+    pub fn with_mode(mut self, mode: impl AsRef<str>) -> Self {
+        self.mode = Some(Symbol::intern(mode.as_ref()));
         self
     }
 
@@ -85,13 +91,18 @@ impl EvalContext {
     }
 
     /// The current operating mode, if set.
-    pub fn mode(&self) -> Option<&str> {
-        self.mode.as_deref()
+    pub fn mode(&self) -> Option<&'static str> {
+        self.mode.map(Symbol::as_str)
+    }
+
+    /// The interned operating mode, if set (used in cache keys).
+    pub fn mode_symbol(&self) -> Option<Symbol> {
+        self.mode
     }
 
     /// Changes the operating mode in place.
-    pub fn set_mode(&mut self, mode: impl Into<String>) {
-        self.mode = Some(mode.into());
+    pub fn set_mode(&mut self, mode: impl AsRef<str>) {
+        self.mode = Some(Symbol::intern(mode.as_ref()));
     }
 
     /// Reads a state variable.
@@ -109,15 +120,22 @@ impl EvalContext {
         self.rates.get(key).copied().unwrap_or(0.0)
     }
 
-    /// Writes a computed rate (done by the engine's rate tracker).
+    /// Writes a caller-provided rate (the engine's own counters take
+    /// precedence for keys declared by the loaded policies).
     pub fn set_rate(&mut self, key: impl Into<String>, per_sec: f64) {
         self.rates.insert(key.into(), per_sec);
     }
 }
 
+impl crate::condition::RateSource for EvalContext {
+    fn rate_per_sec(&self, key: &str) -> f64 {
+        EvalContext::rate_per_sec(self, key)
+    }
+}
+
 impl fmt::Display for EvalContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "mode={}", self.mode.as_deref().unwrap_or("-"))?;
+        write!(f, "mode={}", self.mode().unwrap_or("-"))?;
         for (k, v) in &self.state {
             write!(f, " {k}={v}")?;
         }
@@ -161,6 +179,13 @@ mod tests {
         assert_eq!(ctx.rate_per_sec("x"), 0.0);
         ctx.set_rate("x", 2.5);
         assert_eq!(ctx.rate_per_sec("x"), 2.5);
+    }
+
+    #[test]
+    fn mode_symbol_matches_mode() {
+        let ctx = EvalContext::new().with_mode("normal");
+        assert_eq!(ctx.mode_symbol().unwrap().as_str(), "normal");
+        assert_eq!(EvalContext::new().mode_symbol(), None);
     }
 
     #[test]

@@ -11,6 +11,17 @@
 //! (requires the OEM key) and
 //! [`firmware_attempt_reconfigure`](HardwarePolicyEngine::firmware_attempt_reconfigure)
 //! (always fails, modelling the tamper-resistance of the hardware block).
+//!
+//! # The lookup fast path (DESIGN.md §6)
+//!
+//! The per-frame path is lock-light: telemetry counters are atomics, the
+//! engine label is a pre-shared `Arc<str>`, and verdicts are cached in a
+//! generation-tagged [`GenCache`] keyed by `(can id, direction)` — the same
+//! idiom as `polsec-core`'s decision cache. A signed configuration update
+//! (or a decision-block swap) bumps the generation, so stale verdicts can
+//! never answer; only a cache miss takes the configuration read lock. Cycle
+//! accounting is preserved on hits: the cached verdict carries the cycle
+//! cost the hardware comparator bank spends on every frame.
 
 use crate::config::compile_policy_to_lists;
 use crate::decision::DecisionBlock;
@@ -18,25 +29,74 @@ use crate::error::HpeError;
 use crate::lists::ApprovedLists;
 use crate::telemetry::HpeTelemetry;
 use polsec_can::node::{InterposeVerdict, Interposer};
-use polsec_can::CanFrame;
+use polsec_can::{CanFrame, CanId};
+use polsec_core::cache::{GenCache, KEY_VALID};
 use polsec_core::SignedBundle;
 use polsec_sim::SimTime;
-use std::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
+/// Mutable configuration, touched only by updates and cache misses.
 #[derive(Debug)]
-struct Inner {
-    label: String,
+struct HpeConfig {
     lists: ApprovedLists,
     block: DecisionBlock,
-    telemetry: HpeTelemetry,
-    config_version: u64,
     oem_key: Option<Vec<u8>>,
 }
+
+/// Lock-free telemetry counters; only the per-id block map takes a (rare,
+/// deny-path-only) mutex.
+#[derive(Debug, Default)]
+struct TelemetryCounters {
+    read_granted: AtomicU64,
+    read_blocked: AtomicU64,
+    write_granted: AtomicU64,
+    write_blocked: AtomicU64,
+    tamper_attempts: AtomicU64,
+    total_cycles: AtomicU64,
+    blocked_by_id: Mutex<BTreeMap<u32, u64>>,
+}
+
+impl TelemetryCounters {
+    fn snapshot(&self) -> HpeTelemetry {
+        HpeTelemetry {
+            read_granted: self.read_granted.load(Ordering::Relaxed),
+            read_blocked: self.read_blocked.load(Ordering::Relaxed),
+            write_granted: self.write_granted.load(Ordering::Relaxed),
+            write_blocked: self.write_blocked.load(Ordering::Relaxed),
+            tamper_attempts: self.tamper_attempts.load(Ordering::Relaxed),
+            total_cycles: self.total_cycles.load(Ordering::Relaxed),
+            blocked_by_id: lock(&self.blocked_by_id).clone(),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Debug)]
+struct Shared {
+    label: Arc<str>,
+    config: RwLock<HpeConfig>,
+    config_version: AtomicU64,
+    telemetry: TelemetryCounters,
+    cache: GenCache,
+    generation: AtomicU32,
+}
+
+/// Verdict-cache slots; CAN id spaces are small, so a modest table hits
+/// almost always.
+const VERDICT_CACHE_SLOTS: usize = 2_048;
+
+const DIR_READ: u64 = 0;
+const DIR_WRITE: u64 = 1;
 
 /// The hardware policy engine of Fig. 4. See the module docs.
 #[derive(Debug, Clone)]
 pub struct HardwarePolicyEngine {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<Shared>,
 }
 
 impl HardwarePolicyEngine {
@@ -44,54 +104,73 @@ impl HardwarePolicyEngine {
     /// (field updates disabled).
     pub fn new(label: impl Into<String>, lists: ApprovedLists) -> Self {
         HardwarePolicyEngine {
-            inner: Arc::new(Mutex::new(Inner {
-                label: label.into(),
-                lists,
-                block: DecisionBlock::default(),
-                telemetry: HpeTelemetry::new(),
-                config_version: 0,
-                oem_key: None,
-            })),
+            shared: Arc::new(Shared {
+                label: Arc::from(label.into()),
+                config: RwLock::new(HpeConfig {
+                    lists,
+                    block: DecisionBlock::default(),
+                    oem_key: None,
+                }),
+                config_version: AtomicU64::new(0),
+                telemetry: TelemetryCounters::default(),
+                cache: GenCache::with_capacity(VERDICT_CACHE_SLOTS),
+                generation: AtomicU32::new(0),
+            }),
         }
     }
 
     /// Provisions the OEM verification key, enabling signed configuration
     /// updates (builder style; done at manufacture).
     pub fn with_oem_key(self, key: Vec<u8>) -> Self {
-        self.lock().oem_key = Some(key);
+        self.write_config().oem_key = Some(key);
         self
     }
 
     /// Overrides the decision block's cost model (builder style).
     pub fn with_decision_block(self, block: DecisionBlock) -> Self {
-        self.lock().block = block;
+        self.write_config().block = block;
+        self.invalidate();
         self
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // Poisoning can only arise from a panic inside another lock holder;
-        // recover the data rather than propagating the poison.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn read_config(&self) -> std::sync::RwLockReadGuard<'_, HpeConfig> {
+        self.shared.config.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// The engine's label.
-    pub fn label(&self) -> String {
-        self.lock().label.clone()
+    fn write_config(&self) -> std::sync::RwLockWriteGuard<'_, HpeConfig> {
+        self.shared.config.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Bumps the verdict-cache generation and erases the slots.
+    fn invalidate(&self) {
+        self.shared.generation.fetch_add(1, Ordering::AcqRel);
+        self.shared.cache.clear();
+    }
+
+    /// The engine's label, pre-shared so reads take no lock and clone no
+    /// string.
+    pub fn label(&self) -> Arc<str> {
+        Arc::clone(&self.shared.label)
     }
 
     /// Snapshot of the telemetry counters.
     pub fn telemetry(&self) -> HpeTelemetry {
-        self.lock().telemetry.clone()
+        self.shared.telemetry.snapshot()
     }
 
-    /// The active configuration version.
+    /// The active configuration version (atomic read; no lock).
     pub fn config_version(&self) -> u64 {
-        self.lock().config_version
+        self.shared.config_version.load(Ordering::Acquire)
+    }
+
+    /// The verdict-cache generation (bumped by every reconfiguration).
+    pub fn cache_generation(&self) -> u32 {
+        self.shared.generation.load(Ordering::Acquire)
     }
 
     /// Snapshot of the approved lists (for inspection/diagnostics).
     pub fn lists(&self) -> ApprovedLists {
-        self.lock().lists.clone()
+        self.read_config().lists.clone()
     }
 
     /// The path compromised firmware would have to use: an unauthenticated
@@ -100,14 +179,17 @@ impl HardwarePolicyEngine {
     /// # Errors
     /// Always [`HpeError::TamperRejected`].
     pub fn firmware_attempt_reconfigure(&self) -> Result<(), HpeError> {
-        let mut inner = self.lock();
-        inner.telemetry.tamper_attempts += 1;
+        self.shared
+            .telemetry
+            .tamper_attempts
+            .fetch_add(1, Ordering::Relaxed);
         Err(HpeError::TamperRejected)
     }
 
     /// Applies an OEM-signed policy bundle: verifies the signature, requires
     /// the version to advance, compiles the bundle's policies for `mode`
-    /// into fresh lists (preserving hardware capacity), then swaps them in.
+    /// into fresh lists (preserving hardware capacity), then swaps them in
+    /// and invalidates the verdict cache.
     ///
     /// # Errors
     /// [`HpeError::ConfigRejected`] for missing key / bad signature / stale
@@ -118,22 +200,23 @@ impl HardwarePolicyEngine {
         bundle: &SignedBundle,
         mode: Option<&str>,
     ) -> Result<(), HpeError> {
-        let mut inner = self.lock();
-        let key = inner.oem_key.clone().ok_or_else(|| HpeError::ConfigRejected {
+        let mut config = self.write_config();
+        let key = config.oem_key.clone().ok_or_else(|| HpeError::ConfigRejected {
             reason: "no oem key provisioned".into(),
         })?;
         let verified = bundle.verify(&key).map_err(|e| HpeError::ConfigRejected {
             reason: e.to_string(),
         })?;
-        if verified.version <= inner.config_version {
+        let current = self.shared.config_version.load(Ordering::Acquire);
+        if verified.version <= current {
             return Err(HpeError::ConfigRejected {
                 reason: format!(
                     "version {} does not advance current {}",
-                    verified.version, inner.config_version
+                    verified.version, current
                 ),
             });
         }
-        let capacity = inner.lists.read().capacity();
+        let capacity = config.lists.read().capacity();
         let mut combined = ApprovedLists::with_capacity(capacity);
         for policy in &verified.policies {
             let lists = compile_policy_to_lists(policy, mode, capacity)?;
@@ -144,40 +227,64 @@ impl HardwarePolicyEngine {
                 combined.add_write_entry(*e)?;
             }
         }
-        inner.lists.clear();
-        inner.lists = combined;
-        inner.config_version = verified.version;
+        config.lists = combined;
+        self.shared
+            .config_version
+            .store(verified.version, Ordering::Release);
+        drop(config);
+        self.invalidate();
         Ok(())
+    }
+
+    /// One filtered lookup: cache first, decision block on a miss.
+    fn filter(&self, direction: u64, id: CanId) -> (bool, u32) {
+        let generation = u64::from(self.shared.generation.load(Ordering::Acquire)) & 0xF_FFFF;
+        let packed_id = (u64::from(id.raw()) << 2)
+            | (u64::from(id.is_extended()) << 1)
+            | direction;
+        let key = [packed_id, 0, KEY_VALID | generation];
+        if let Some(v) = self.shared.cache.lookup(key) {
+            return (v & 1 == 1, (v >> 1) as u32);
+        }
+        let config = self.read_config();
+        let list = match direction {
+            DIR_READ => config.lists.read(),
+            _ => config.lists.write(),
+        };
+        let verdict = config.block.decide(list, id);
+        self.shared
+            .cache
+            .insert(key, (u64::from(verdict.cycles) << 1) | u64::from(verdict.granted));
+        (verdict.granted, verdict.cycles)
+    }
+
+    fn account(&self, direction: u64, id: CanId, granted: bool, cycles: u32) -> InterposeVerdict {
+        let t = &self.shared.telemetry;
+        t.total_cycles.fetch_add(u64::from(cycles), Ordering::Relaxed);
+        match (direction, granted) {
+            (DIR_READ, true) => t.read_granted.fetch_add(1, Ordering::Relaxed),
+            (DIR_READ, false) => t.read_blocked.fetch_add(1, Ordering::Relaxed),
+            (_, true) => t.write_granted.fetch_add(1, Ordering::Relaxed),
+            (_, false) => t.write_blocked.fetch_add(1, Ordering::Relaxed),
+        };
+        if granted {
+            InterposeVerdict::Grant
+        } else {
+            *lock(&t.blocked_by_id).entry(id.raw()).or_insert(0) += 1;
+            InterposeVerdict::Block
+        }
     }
 }
 
 impl Interposer for HardwarePolicyEngine {
     fn on_ingress(&mut self, _now: SimTime, frame: &CanFrame) -> InterposeVerdict {
-        let mut inner = self.lock();
-        let verdict = inner.block.decide(inner.lists.read(), frame.id());
-        inner.telemetry.total_cycles += verdict.cycles as u64;
-        if verdict.granted {
-            inner.telemetry.read_granted += 1;
-            InterposeVerdict::Grant
-        } else {
-            inner.telemetry.read_blocked += 1;
-            inner.telemetry.note_block(frame.id().raw());
-            InterposeVerdict::Block
-        }
+        let (granted, cycles) = self.filter(DIR_READ, frame.id());
+        self.account(DIR_READ, frame.id(), granted, cycles)
     }
 
     fn on_egress(&mut self, _now: SimTime, frame: &CanFrame) -> InterposeVerdict {
-        let mut inner = self.lock();
-        let verdict = inner.block.decide(inner.lists.write(), frame.id());
-        inner.telemetry.total_cycles += verdict.cycles as u64;
-        if verdict.granted {
-            inner.telemetry.write_granted += 1;
-            InterposeVerdict::Grant
-        } else {
-            inner.telemetry.write_blocked += 1;
-            inner.telemetry.note_block(frame.id().raw());
-            InterposeVerdict::Block
-        }
+        let (granted, cycles) = self.filter(DIR_WRITE, frame.id());
+        self.account(DIR_WRITE, frame.id(), granted, cycles)
     }
 
     fn label(&self) -> &str {
@@ -234,6 +341,32 @@ mod tests {
         let t = hpe.telemetry();
         assert_eq!(t.write_granted, 1);
         assert_eq!(t.write_blocked, 1);
+    }
+
+    #[test]
+    fn repeated_frames_hit_the_verdict_cache_with_same_accounting() {
+        let mut hpe = engine_allowing(&[0x100], &[]);
+        hpe.on_ingress(SimTime::ZERO, &frame(0x100));
+        let cycles_after_first = hpe.telemetry().total_cycles;
+        for _ in 0..3 {
+            assert_eq!(hpe.on_ingress(SimTime::ZERO, &frame(0x100)), InterposeVerdict::Grant);
+        }
+        let t = hpe.telemetry();
+        assert_eq!(t.read_granted, 4);
+        assert_eq!(
+            t.total_cycles,
+            cycles_after_first * 4,
+            "cache hits keep charging the hardware lookup cost"
+        );
+    }
+
+    #[test]
+    fn label_is_pre_shared() {
+        let hpe = engine_allowing(&[], &[]);
+        let a = hpe.label();
+        let b = hpe.label();
+        assert_eq!(&*a, "test-hpe");
+        assert!(Arc::ptr_eq(&a, &b), "label reads share one allocation");
     }
 
     #[test]
@@ -295,8 +428,12 @@ mod tests {
     }
 
     #[test]
-    fn update_replaces_old_entries() {
+    fn update_replaces_old_entries_and_invalidates_cached_verdicts() {
         let hpe = engine_allowing(&[0x10], &[]).with_oem_key(KEY.to_vec());
+        let mut inline = hpe.clone();
+        // Warm the verdict cache with a grant for 0x10.
+        assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x10)), InterposeVerdict::Grant);
+        let generation_before = hpe.cache_generation();
         let policy = parse_policy(
             r#"policy "cfg" version 2 {
                 allow read on can:0x20 from *:*;
@@ -305,7 +442,8 @@ mod tests {
         .unwrap();
         let bundle = PolicyBundle::new(1, "rotate", vec![policy]).sign(KEY);
         hpe.apply_signed_config(&bundle, None).unwrap();
-        let mut inline = hpe.clone();
+        assert!(hpe.cache_generation() > generation_before);
+        // The cached grant for 0x10 must not survive the update.
         assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x10)), InterposeVerdict::Block);
         assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x20)), InterposeVerdict::Grant);
     }

@@ -83,6 +83,7 @@ impl ApprovedList {
     }
 
     /// Wipes all entries (authorised reconfiguration path only).
+    #[allow(dead_code)] // exercised by tests; retained for reconfig paths
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
     }
@@ -173,6 +174,7 @@ impl ApprovedLists {
     }
 
     /// Wipes both lists (authorised path only).
+    #[allow(dead_code)] // exercised by tests; retained for reconfig paths
     pub(crate) fn clear(&mut self) {
         self.read.clear();
         self.write.clear();

@@ -57,7 +57,8 @@ impl HpeTelemetry {
             .map(|(&id, &count)| (id, count))
     }
 
-    pub(crate) fn note_block(&mut self, raw_id: u32) {
+    /// Notes one blocked frame for `raw_id` (snapshot assembly helper).
+    pub fn note_block(&mut self, raw_id: u32) {
         *self.blocked_by_id.entry(raw_id).or_insert(0) += 1;
     }
 }

@@ -1,13 +1,58 @@
 //! The access vector cache.
 //!
 //! Real SELinux answers most checks from the AVC rather than walking policy;
-//! the E5 bench measures the same effect here. Entries are keyed by
-//! `(source type, target type, class, perm)` and tagged with the policy
-//! generation they were computed under, so a policy reload invalidates
-//! stale entries lazily.
+//! the E5 bench measures the same effect here. Entries are keyed by the
+//! **interned** `(source type, target type, class, perm)` quadruple —
+//! four `u32` [`Symbol`] handles, so a lookup allocates nothing — and
+//! tagged with the policy generation they were computed under, so a policy
+//! reload invalidates stale entries lazily. This is the same
+//! generation-tagged idiom as `polsec-core`'s decision cache and the HPE's
+//! verdict cache (DESIGN.md §6).
 
+use polsec_core::Symbol;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A cached access vector: the policy's answer plus its audit directives,
+/// so a cache hit needs no policy walk at all (real AVCs cache the
+/// auditallow/auditdeny vectors alongside the allow vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessVector {
+    /// Whether policy allows the access.
+    pub allowed: bool,
+    /// Whether a grant should emit an `avc: granted` message (auditallow).
+    pub audit_grant: bool,
+    /// Whether a denial should emit an `avc: denied` message (not
+    /// dontaudit-suppressed).
+    pub audit_deny: bool,
+}
+
+/// A cheap multiply-xor hasher for the 16-byte symbol key — the default
+/// SipHash is overkill for four interned `u32`s on the hot path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvcKeyHasher(u64);
+
+impl Hasher for AvcKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0.rotate_left(21) ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 31;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^ (h >> 29)
+    }
+}
+
+type AvcBuildHasher = BuildHasherDefault<AvcKeyHasher>;
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,24 +79,24 @@ impl AvcStats {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
-    source: String,
-    target: String,
-    class: String,
-    perm: String,
+    source: Symbol,
+    target: Symbol,
+    class: Symbol,
+    perm: Symbol,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
-    allowed: bool,
+    vector: AccessVector,
     generation: u64,
 }
 
 /// A generation-tagged access vector cache.
 #[derive(Debug, Clone, Default)]
 pub struct Avc {
-    map: HashMap<Key, Entry>,
+    map: HashMap<Key, Entry, AvcBuildHasher>,
     capacity: usize,
     stats: AvcStats,
 }
@@ -68,7 +113,7 @@ impl Avc {
     /// Creates a cache bounded to `capacity` entries (minimum 1).
     pub fn with_capacity(capacity: usize) -> Self {
         Avc {
-            map: HashMap::new(),
+            map: HashMap::default(),
             capacity: capacity.max(1),
             stats: AvcStats::default(),
         }
@@ -84,16 +129,32 @@ impl Avc {
         perm: &str,
         generation: u64,
     ) -> Option<bool> {
-        let key = Key {
-            source: source.to_string(),
-            target: target.to_string(),
-            class: class.to_string(),
-            perm: perm.to_string(),
-        };
+        self.lookup_symbols(
+            Symbol::intern(source),
+            Symbol::intern(target),
+            Symbol::intern(class),
+            Symbol::intern(perm),
+            generation,
+        )
+        .map(|v| v.allowed)
+    }
+
+    /// [`Avc::lookup`] over pre-interned symbols, returning the full
+    /// cached [`AccessVector`] — the allocation-free hot path used by
+    /// [`Enforcer::check`](crate::Enforcer::check).
+    pub fn lookup_symbols(
+        &mut self,
+        source: Symbol,
+        target: Symbol,
+        class: Symbol,
+        perm: Symbol,
+        generation: u64,
+    ) -> Option<AccessVector> {
+        let key = Key { source, target, class, perm };
         match self.map.get(&key) {
             Some(e) if e.generation == generation => {
                 self.stats.hits += 1;
-                Some(e.allowed)
+                Some(e.vector)
             }
             Some(_) => {
                 self.map.remove(&key);
@@ -119,19 +180,31 @@ impl Avc {
         generation: u64,
         allowed: bool,
     ) {
+        self.insert_symbols(
+            Symbol::intern(source),
+            Symbol::intern(target),
+            Symbol::intern(class),
+            Symbol::intern(perm),
+            generation,
+            AccessVector { allowed, ..AccessVector::default() },
+        );
+    }
+
+    /// [`Avc::insert`] over pre-interned symbols, caching the full vector.
+    pub fn insert_symbols(
+        &mut self,
+        source: Symbol,
+        target: Symbol,
+        class: Symbol,
+        perm: Symbol,
+        generation: u64,
+        vector: AccessVector,
+    ) {
         if self.map.len() >= self.capacity {
             self.map.clear();
             self.stats.evictions += 1;
         }
-        self.map.insert(
-            Key {
-                source: source.to_string(),
-                target: target.to_string(),
-                class: class.to_string(),
-                perm: perm.to_string(),
-            },
-            Entry { allowed, generation },
-        );
+        self.map.insert(Key { source, target, class, perm }, Entry { vector, generation });
     }
 
     /// Drops everything (explicit flush, e.g. on policy unload).

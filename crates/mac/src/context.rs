@@ -1,6 +1,7 @@
 //! Security contexts.
 
 use crate::error::MacError;
+use polsec_core::Symbol;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -16,11 +17,11 @@ use std::fmt;
 /// assert_eq!(c.type_(), "telematics_t");
 /// # Ok::<(), polsec_mac::MacError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SecurityContext {
     user: String,
     role: String,
-    type_: String,
+    type_: Symbol,
 }
 
 impl SecurityContext {
@@ -28,17 +29,17 @@ impl SecurityContext {
     pub fn new(
         user: impl Into<String>,
         role: impl Into<String>,
-        type_: impl Into<String>,
+        type_: impl AsRef<str>,
     ) -> Self {
         SecurityContext {
             user: user.into(),
             role: role.into(),
-            type_: type_.into(),
+            type_: Symbol::intern(type_.as_ref()),
         }
     }
 
     /// Convenience: an object context `system:object_r:<type>`.
-    pub fn object(type_: impl Into<String>) -> Self {
+    pub fn object(type_: impl AsRef<str>) -> Self {
         SecurityContext::new("system", "object_r", type_)
     }
 
@@ -70,23 +71,28 @@ impl SecurityContext {
     }
 
     /// The type part — what type enforcement operates on.
-    pub fn type_(&self) -> &str {
-        &self.type_
+    pub fn type_(&self) -> &'static str {
+        self.type_.as_str()
+    }
+
+    /// The interned type handle (the AVC's key material).
+    pub fn type_symbol(&self) -> Symbol {
+        self.type_
     }
 
     /// A copy with a different type (domain transition result).
-    pub fn with_type(&self, type_: impl Into<String>) -> Self {
+    pub fn with_type(&self, type_: impl AsRef<str>) -> Self {
         SecurityContext {
             user: self.user.clone(),
             role: self.role.clone(),
-            type_: type_.into(),
+            type_: Symbol::intern(type_.as_ref()),
         }
     }
 }
 
 impl fmt::Display for SecurityContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}:{}", self.user, self.role, self.type_)
+        write!(f, "{}:{}:{}", self.user, self.role, self.type_.as_str())
     }
 }
 

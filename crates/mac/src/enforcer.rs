@@ -5,9 +5,10 @@
 //! in **permissive** mode — log would-be denials while letting them
 //! through (how real deployments stage new policy before enforcing it).
 
-use crate::avc::{Avc, AvcStats};
+use crate::avc::{AccessVector, Avc, AvcStats};
 use crate::context::SecurityContext;
 use crate::policy::MacPolicy;
+use polsec_core::Symbol;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -150,29 +151,37 @@ impl Enforcer {
     ) -> CheckResult {
         let generation = self.policy.generation();
         let (source, target) = (scontext.type_(), tcontext.type_());
-        let (allowed, cached) = match self.avc.lookup(source, target, class, perm, generation) {
-            Some(a) => (a, true),
-            None => {
-                let a = self.policy.allows(source, target, class, perm);
-                self.avc.insert(source, target, class, perm, generation, a);
-                (a, false)
-            }
-        };
+        let key = (
+            scontext.type_symbol(),
+            tcontext.type_symbol(),
+            Symbol::intern(class),
+            Symbol::intern(perm),
+        );
+        // A hit answers allow *and* audit directives from the cached
+        // vector, so repeated checks never walk policy at all.
+        let (vector, cached) =
+            match self.avc.lookup_symbols(key.0, key.1, key.2, key.3, generation) {
+                Some(v) => (v, true),
+                None => {
+                    let allowed = self.policy.allows(source, target, class, perm);
+                    let vector = AccessVector {
+                        allowed,
+                        audit_grant: allowed
+                            && self.policy.audits_grant(source, target, class, perm),
+                        audit_deny: !allowed
+                            && self.policy.audits_denial(source, target, class, perm),
+                    };
+                    self.avc
+                        .insert_symbols(key.0, key.1, key.2, key.3, generation, vector);
+                    (vector, false)
+                }
+            };
+        let allowed = vector.allowed;
 
         let permissive = self.mode == EnforcementMode::Permissive;
-        if !allowed && self.policy.audits_denial(source, target, class, perm) {
+        if (!allowed && vector.audit_deny) || (allowed && vector.audit_grant) {
             self.audit.push(AvcMessage {
-                granted: false,
-                scontext: scontext.to_string(),
-                tcontext: tcontext.to_string(),
-                class: class.to_string(),
-                perm: perm.to_string(),
-                permissive,
-            });
-        }
-        if allowed && self.policy.audits_grant(source, target, class, perm) {
-            self.audit.push(AvcMessage {
-                granted: true,
+                granted: allowed,
                 scontext: scontext.to_string(),
                 tcontext: tcontext.to_string(),
                 class: class.to_string(),
@@ -197,7 +206,7 @@ impl Enforcer {
         entry_type: &str,
     ) -> SecurityContext {
         match self.policy.transition(scontext.type_(), entry_type) {
-            Some(new_type) => scontext.with_type(new_type.to_string()),
+            Some(new_type) => scontext.with_type(new_type),
             None => scontext.clone(),
         }
     }

@@ -180,4 +180,65 @@ proptest! {
         let double_not = Condition::Not(Box::new(Condition::Not(Box::new(cond.clone()))));
         prop_assert_eq!(cond.eval(&ctx), double_not.eval(&ctx));
     }
+
+    #[test]
+    fn decision_cache_never_changes_decisions(
+        policy in arb_policy(),
+        requests in prop::collection::vec(arb_request(), 1..16),
+    ) {
+        // Cached and uncached engines must agree under every combining
+        // strategy, including on repeated requests (which hit the cache)
+        // and on contexts carrying state the cache key does not capture.
+        let set = PolicySet::from_policy(policy);
+        for strategy in [
+            CombiningStrategy::DenyOverrides,
+            CombiningStrategy::FirstMatch,
+            CombiningStrategy::PriorityOrder,
+        ] {
+            let cached = PolicyEngine::new(set.clone()).with_strategy(strategy);
+            let uncached = PolicyEngine::new(set.clone())
+                .with_strategy(strategy)
+                .with_caching(false);
+            let ctx = EvalContext::new().with_mode("normal").with_state("k", "v");
+            for request in &requests {
+                // decide twice so the second pass exercises cache hits
+                for _ in 0..2 {
+                    let a = cached.decide(request, &ctx);
+                    let b = uncached.decide(request, &ctx);
+                    prop_assert_eq!(a.effect(), b.effect(), "strategy {}", strategy);
+                    prop_assert_eq!(a.rule(), b.rule(), "strategy {}", strategy);
+                }
+            }
+            let stats = cached.stats();
+            // Cacheable decisions are accounted as hit or miss; decisions
+            // gated on state or rates bypass the cache entirely.
+            prop_assert!(
+                stats.cache_hits + stats.cache_misses <= stats.decisions,
+                "hit/miss accounting exceeded decisions"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_invalidates_the_decision_cache(
+        before in arb_policy(),
+        after in arb_policy(),
+        request in arb_request(),
+    ) {
+        // Warm the cache under `before`, reload to `after`: every decision
+        // must match a fresh engine that only ever saw `after` — a stale
+        // generation entry answering would diverge here.
+        let mut engine = PolicyEngine::new(PolicySet::from_policy(before));
+        let ctx = EvalContext::new().with_mode("normal");
+        engine.decide(&request, &ctx);
+        engine.decide(&request, &ctx);
+        let generation = engine.cache_generation();
+        engine.reload(PolicySet::from_policy(after.clone()));
+        prop_assert_eq!(engine.cache_generation(), generation + 1);
+        let fresh = PolicyEngine::new(PolicySet::from_policy(after));
+        let got = engine.decide(&request, &ctx);
+        let want = fresh.decide(&request, &ctx);
+        prop_assert_eq!(got.effect(), want.effect());
+        prop_assert_eq!(got.rule(), want.rule());
+    }
 }

@@ -1,0 +1,310 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the polsec benches use —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_with_setup}`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock sampler. Passing `--test` (as
+//! `cargo bench -- --test` does) runs every benchmark body exactly once so
+//! CI can smoke-test bench code without timing it.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and top-level entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 30,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Applies command-line arguments: `--test` switches to run-once smoke
+    /// mode; a bare string argument becomes a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => !id.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one<F>(&self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.skipped(id) {
+            return;
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(stats) if !self.test_mode => {
+                println!(
+                    "{id:<50} time: [{} {} {}]",
+                    fmt_ns(stats.min),
+                    fmt_ns(stats.median),
+                    fmt_ns(stats.max)
+                );
+            }
+            _ => println!("{id:<50} ok (test mode)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a function under `group/label`.
+    pub fn bench_function<F>(&mut self, label: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, label);
+        self.criterion.run_one(&id, &mut f);
+        self
+    }
+
+    /// Benchmarks a function with an input parameter under `group/label`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.skipped(&full) {
+            self.criterion.run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Finishes the group (a no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: a function name and/or parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    result: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = self.warm_up.as_nanos() as f64 / calls.max(1) as f64;
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / per_call.max(0.5)) as u64).clamp(1, 50_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarise(&mut samples));
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per call.
+    pub fn iter_with_setup<S, R, FS, FR>(&mut self, mut setup: FS, mut routine: FR)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> R,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Setup is excluded from timing, so sample counts stay modest.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            let s = setup();
+            black_box(routine(s));
+            calls += 1;
+        }
+        let per_call = self.warm_up.as_nanos() as f64 / calls.max(1) as f64;
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / per_call.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let s = setup();
+                let t = Instant::now();
+                black_box(routine(s));
+                timed += t.elapsed();
+            }
+            samples.push(timed.as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarise(&mut samples));
+    }
+}
+
+fn summarise(samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Stats {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        max: samples[samples.len() - 1],
+    }
+}
+
+/// Defines a benchmark group function, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Defines `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The polsec workspace builds in containers with no crates.io access, so
+//! this crate provides just enough of serde's surface for the workspace to
+//! compile: the `Serialize`/`Deserialize` trait names (as blanket-implemented
+//! markers) and no-op derive macros re-exported under the usual names.
+//!
+//! Nothing in the workspace performs serde-based serialisation — the one
+//! wire format (signed policy bundles) uses `polsec-core`'s self-contained
+//! canonical codec — so the marker traits carry no methods.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to generate — they exist so `#[derive(Serialize,
+//! Deserialize)]` attributes across the workspace keep compiling verbatim.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
