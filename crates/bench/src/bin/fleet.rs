@@ -1,0 +1,123 @@
+//! Fleet-scale scenario harness.
+//!
+//! Runs a mixed-attack fleet (DESIGN.md §7) under the baseline enforcement
+//! policy — gateway whitelists, per-node HPEs, segment HPEs, and the shared
+//! `polsec-core` engine auditing every gateway crossing — **twice with the
+//! same seed**, asserts the deterministic metric sections are byte-identical
+//! and that no attack frame leaked, then writes `BENCH_fleet.json`:
+//!
+//! ```json
+//! {"bench":"fleet","vehicles":100,...,
+//!  "deterministic_replay":true,"attack_blocked":...,
+//!  "metrics":{...},"wall":{...}}
+//! ```
+//!
+//! The `metrics` object is the replay-deterministic section (frame counts,
+//! gateway/HPE counters, verdict-cycle quantiles, attack accounting); `wall`
+//! holds wall-clock measurements (frames/s, shared-engine decide latency
+//! quantiles, engine cache statistics), which legitimately vary run to run.
+//!
+//! The process exits non-zero if the replay is not byte-identical or if the
+//! baseline policy leaked any attack frame.
+//!
+//! Usage: `fleet [vehicles] [frames_total] [threads] [seed]`
+//! (defaults 100, 1_000_000, auto, 42).
+
+use polsec_car::fleet::{run_fleet, FleetConfig, FleetReport};
+
+fn run(cfg: &FleetConfig) -> (FleetReport, String) {
+    let mut report = run_fleet(cfg);
+    let json = report.metrics.to_json();
+    (report, json)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let vehicles: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let frames_total: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let frames_per_vehicle = (frames_total / vehicles.max(1) as u64).max(1);
+    let mut cfg = FleetConfig::new(vehicles, frames_per_vehicle);
+    cfg.threads = threads;
+    cfg.seed = seed;
+
+    polsec_bench::banner(&format!(
+        "fleet: {vehicles} vehicles x {frames_per_vehicle} frames, enforcement {}",
+        cfg.enforcement.label()
+    ));
+
+    let (first, first_json) = run(&cfg);
+    eprintln!(
+        "run 1: {} frames in {:.2}s",
+        first.frames(),
+        first.elapsed_sec
+    );
+    let (mut second, second_json) = run(&cfg);
+    eprintln!(
+        "run 2: {} frames in {:.2}s",
+        second.frames(),
+        second.elapsed_sec
+    );
+
+    let deterministic = first_json == second_json;
+    let frames = second.frames();
+    let leaked = second.leaked();
+    // blocked and leaked_frames are both in injection units (distinct
+    // attack frames), unlike attack.leaked which counts per-node copies
+    let leaked_frames = second.metrics.counter("attack.leaked_frames");
+    let injected = second.metrics.counter("attack.injected");
+    let blocked = injected.saturating_sub(leaked_frames);
+    let frames_per_sec = frames as f64 / second.elapsed_sec.max(1e-9);
+
+    let wall_json = second.wall.to_json();
+    let summary = format!(
+        concat!(
+            "{{\"bench\":\"fleet\",\"vehicles\":{},\"frames_per_vehicle\":{},",
+            "\"seed\":{},\"enforcement\":\"{}\",\"deterministic_replay\":{},",
+            "\"frames\":{},\"frames_per_sec\":{:.0},\"elapsed_sec\":{:.3},",
+            "\"attack_injected\":{},\"attack_blocked\":{},\"attack_leaked\":{},",
+            "\"metrics\":{},\"wall\":{}}}"
+        ),
+        vehicles,
+        frames_per_vehicle,
+        seed,
+        cfg.enforcement.label(),
+        deterministic,
+        frames,
+        frames_per_sec,
+        second.elapsed_sec,
+        injected,
+        blocked,
+        leaked,
+        second_json,
+        wall_json,
+    );
+    println!("{summary}");
+    if let Err(e) = std::fs::write("BENCH_fleet.json", format!("{summary}\n")) {
+        eprintln!("note: could not write BENCH_fleet.json: {e}");
+    }
+
+    let mut failed = false;
+    if !deterministic {
+        eprintln!("FAIL: same-seed replay produced different deterministic metrics");
+        // show the first divergence to keep debugging cheap
+        let byte = first_json
+            .bytes()
+            .zip(second_json.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| first_json.len().min(second_json.len()));
+        let lo = byte.saturating_sub(60);
+        eprintln!("  run1[..]: {}", &first_json[lo..(byte + 60).min(first_json.len())]);
+        eprintln!("  run2[..]: {}", &second_json[lo..(byte + 60).min(second_json.len())]);
+        failed = true;
+    }
+    if leaked > 0 {
+        eprintln!("FAIL: baseline enforcement leaked {leaked} attack frame deliveries");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,8 @@
 //! | `fig4_hpe` | Fig. 4 — the HPE filtering spoofed traffic, with overhead |
 //! | `attack_matrix` | E1 — 16 attacks × 6 enforcement configurations |
 //! | `update_vs_redesign` | E3 — policy update vs redesign turnaround |
+//! | `throughput` | multi-threaded decision throughput + zero-allocation assertion |
+//! | `fleet` | fleet-scale scenario (DESIGN.md §7): deterministic replay + leak accounting |
 //!
 //! Criterion benches (`cargo bench`) cover E2/E4/E5/E6: HPE lookup cost,
 //! policy-engine throughput (with the indexing ablation), MAC AVC hit/miss,

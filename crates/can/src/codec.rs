@@ -305,6 +305,44 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_rtr_every_dlc() {
+        // RTR frames advertise the expected response length in the DLC
+        // while carrying no data; the DLC must survive the round trip for
+        // every legal value, standard and extended.
+        for dlc in 0..=8u8 {
+            let f = CanFrame::remote(sid(0x2A5), dlc).unwrap();
+            let enc = encode(&f, true);
+            let back = decode(enc.bits()).unwrap();
+            assert_eq!(back, f, "standard rtr dlc={dlc}");
+            assert!(back.is_remote());
+            assert_eq!(back.dlc(), dlc);
+            assert!(back.payload().is_empty(), "rtr carries no data");
+
+            let fe = CanFrame::remote(eid(0x0ABC_DEF0), dlc).unwrap();
+            let back = decode(encode(&fe, true).bits()).unwrap();
+            assert_eq!(back, fe, "extended rtr dlc={dlc}");
+            assert_eq!(back.dlc(), dlc);
+        }
+    }
+
+    #[test]
+    fn rtr_with_nonzero_dlc_encodes_no_data_field() {
+        // The wire frame must not grow with the advertised DLC: a remote
+        // frame with DLC 8 is 64 data bits shorter than the matching data
+        // frame (modulo stuffing differences).
+        let remote = encode(&CanFrame::remote(sid(0x123), 8).unwrap(), true);
+        let data = encode(&CanFrame::data(sid(0x123), &[0x55; 8]).unwrap(), true);
+        let remote_unstuffed = remote.len() - remote.stuff_bits();
+        let data_unstuffed = data.len() - data.stuff_bits();
+        assert_eq!(data_unstuffed - remote_unstuffed, 64);
+        // And distinct DLCs still produce distinct encodings (the DLC field
+        // is on the wire even though the data field is empty).
+        let a = encode(&CanFrame::remote(sid(0x123), 1).unwrap(), true);
+        let b = encode(&CanFrame::remote(sid(0x123), 2).unwrap(), true);
+        assert_ne!(a.bits(), b.bits());
+    }
+
+    #[test]
     fn encoded_length_is_nominal_plus_stuffing() {
         let f = CanFrame::data(sid(0x100), &[0u8; 8]).unwrap();
         let enc = encode(&f, true);

@@ -137,6 +137,21 @@ impl CanController {
         self.rx.pop_front()
     }
 
+    /// Returns a previously-popped frame to the *head* of the RX queue,
+    /// bypassing the acceptance filters (the frame was already accepted
+    /// once). Used to undo a partial drain when a consumer fails mid-batch.
+    ///
+    /// A full queue drops the frame and counts an overflow; returns whether
+    /// the frame was restored.
+    pub fn push_rx_front(&mut self, frame: CanFrame) -> bool {
+        if self.rx.len() >= self.rx_capacity {
+            self.rx_overflowed += 1;
+            return false;
+        }
+        self.rx.push_front(frame);
+        true
+    }
+
     /// Number of frames waiting in the RX queue.
     pub fn rx_pending(&self) -> usize {
         self.rx.len()

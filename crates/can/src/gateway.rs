@@ -110,48 +110,66 @@ impl Gateway {
     /// Drains both endpoints' RX queues, forwarding matching frames to the
     /// opposite segment. Call between bus runs. Returns frames forwarded.
     ///
+    /// Every drained frame is accounted for, even when forwarding fails
+    /// mid-drain: frames not yet forwarded are returned to the head of the
+    /// source endpoint's RX queue (in their original order) so a later pump
+    /// against the correct buses picks them up again. The invariant
+    /// `forwarded + dropped == frames permanently removed from RX queues`
+    /// therefore holds on both the success and the error path.
+    ///
     /// # Errors
     /// [`CanError::UnknownNode`] if an endpoint handle is stale (a gateway
     /// used with buses it was not bridged to).
     pub fn pump(&mut self, bus_a: &mut CanBus, bus_b: &mut CanBus) -> Result<u64, CanError> {
+        let a = self.pump_direction(Segment::A, bus_a, bus_b)?;
+        let b = self.pump_direction(Segment::B, bus_b, bus_a)?;
+        Ok(a + b)
+    }
+
+    /// Drains one endpoint and forwards matching frames onto `dst`.
+    fn pump_direction(
+        &mut self,
+        from: Segment,
+        src: &mut CanBus,
+        dst: &mut CanBus,
+    ) -> Result<u64, CanError> {
+        let (src_handle, dst_handle) = match from {
+            Segment::A => (self.node_a, self.node_b),
+            Segment::B => (self.node_b, self.node_a),
+        };
+        let mut drained = Vec::new();
+        {
+            let node = src
+                .node_mut(src_handle)
+                .ok_or(CanError::UnknownNode { handle: src_handle.index() })?;
+            while let Some(f) = node.receive() {
+                drained.push(f);
+            }
+        }
         let mut moved = 0;
-
-        let mut from_a = Vec::new();
-        {
-            let node = bus_a
-                .node_mut(self.node_a)
-                .ok_or(CanError::UnknownNode { handle: self.node_a.index() })?;
-            while let Some(f) = node.receive() {
-                from_a.push(f);
-            }
-        }
-        for f in from_a {
-            if self.matches(Segment::A, &f) {
-                bus_b.send_from(self.node_b, f)?;
-                self.forwarded += 1;
-                moved += 1;
-            } else {
+        for (i, f) in drained.iter().enumerate() {
+            if !self.matches(from, f) {
                 self.dropped += 1;
+                continue;
             }
-        }
-
-        let mut from_b = Vec::new();
-        {
-            let node = bus_b
-                .node_mut(self.node_b)
-                .ok_or(CanError::UnknownNode { handle: self.node_b.index() })?;
-            while let Some(f) = node.receive() {
-                from_b.push(f);
+            if let Err(e) = dst.send_from(dst_handle, f.clone()) {
+                // Undo the rest of the drain: this frame and everything
+                // after it go back to the head of the source RX queue, in
+                // order. A frame that no longer fits is counted as dropped
+                // rather than vanishing.
+                if let Some(node) = src.node_mut(src_handle) {
+                    for frame in drained[i..].iter().rev() {
+                        if !node.requeue_rx(frame.clone()) {
+                            self.dropped += 1;
+                        }
+                    }
+                } else {
+                    self.dropped += (drained.len() - i) as u64;
+                }
+                return Err(e);
             }
-        }
-        for f in from_b {
-            if self.matches(Segment::B, &f) {
-                bus_a.send_from(self.node_a, f)?;
-                self.forwarded += 1;
-                moved += 1;
-            } else {
-                self.dropped += 1;
-            }
+            self.forwarded += 1;
+            moved += 1;
         }
         Ok(moved)
     }
@@ -270,5 +288,117 @@ mod tests {
     fn segment_display() {
         assert_eq!(Segment::A.to_string(), "A");
         assert_eq!(Segment::B.to_string(), "B");
+    }
+
+    #[test]
+    fn mid_pump_send_failure_loses_no_frames() {
+        // Regression: pump used to drain the RX queue into a local Vec and
+        // return early when send_from failed, silently losing every
+        // drained-but-not-yet-forwarded frame.
+        let (mut a, mut b, mut gw, sender, receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::exact(CanId::standard(0x100).unwrap()),
+        });
+        // Mixed batch: one non-matching frame (dropped before the failure),
+        // then three matching frames that hit the failing send. The
+        // non-matching id is the lowest, so arbitration delivers it first
+        // and it sits at the head of the drained batch.
+        a.send_from(sender, frame(0x050)).unwrap();
+        a.send_from(sender, frame(0x100)).unwrap();
+        a.send_from(sender, frame(0x100)).unwrap();
+        a.send_from(sender, frame(0x100)).unwrap();
+        a.run_until_idle();
+        let drained = a.node(gw.endpoint_a()).unwrap().controller().rx_pending() as u64;
+        assert_eq!(drained, 4);
+
+        // A destination bus the gateway was never bridged to: its B endpoint
+        // handle is unknown there, so forwarding fails mid-pump.
+        let mut wrong_b = CanBus::new(500_000);
+        let err = gw.pump(&mut a, &mut wrong_b).unwrap_err();
+        assert!(matches!(err, CanError::UnknownNode { .. }));
+
+        // Conservation: every drained frame is either counted or requeued.
+        let requeued = a.node(gw.endpoint_a()).unwrap().controller().rx_pending() as u64;
+        assert_eq!(
+            gw.forwarded() + gw.dropped() + requeued,
+            drained,
+            "forwarded({}) + dropped({}) + requeued({}) must equal drained({})",
+            gw.forwarded(),
+            gw.dropped(),
+            requeued,
+            drained
+        );
+        assert_eq!(gw.forwarded(), 0);
+        assert_eq!(gw.dropped(), 1, "the non-matching 0x050 was consumed");
+        assert_eq!(requeued, 3, "matching frames survive the failed pump");
+
+        // A later pump against the correct buses delivers the survivors.
+        gw.pump(&mut a, &mut b).unwrap();
+        b.run_until_idle();
+        assert_eq!(gw.forwarded(), 3);
+        let mut got = 0;
+        while let Some(f) = b.node_mut(receiver).unwrap().receive() {
+            assert_eq!(f.id().raw(), 0x100);
+            got += 1;
+        }
+        assert_eq!(got, 3, "no drained frame may be lost end to end");
+    }
+
+    #[test]
+    fn pump_against_foreign_source_bus_errors_cleanly() {
+        let (mut a, _b, mut gw, sender, _receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::any_standard(),
+        });
+        a.send_from(sender, frame(0x10)).unwrap();
+        a.run_until_idle();
+        // Both buses wrong: the A-side drain itself must fail without
+        // touching counters.
+        let mut foreign_a = CanBus::new(500_000);
+        let mut foreign_b = CanBus::new(500_000);
+        let err = gw.pump(&mut foreign_a, &mut foreign_b).unwrap_err();
+        assert!(matches!(err, CanError::UnknownNode { .. }));
+        assert_eq!(gw.forwarded(), 0);
+        assert_eq!(gw.dropped(), 0);
+        // The original frame is still waiting on the real bus.
+        assert_eq!(a.node(gw.endpoint_a()).unwrap().controller().rx_pending(), 1);
+    }
+
+    #[test]
+    fn failure_on_the_b_drain_preserves_a_side_work() {
+        // With a foreign destination bus the A→B send fails mid-pump: the
+        // A-side frame must be requeued (not lost), the B-side frame stays
+        // queued untouched, and a recovery pump with the right buses moves
+        // both directions.
+        let (mut a, mut b, mut gw, sender, receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::any_standard(),
+        })
+        .allow(ForwardRule {
+            from: Segment::B,
+            filter: AcceptanceFilter::any_standard(),
+        });
+        a.send_from(sender, frame(0x1)).unwrap();
+        b.send_from(receiver, frame(0x2)).unwrap();
+        a.run_until_idle();
+        b.run_until_idle();
+        // Pass a foreign bus as the destination for B→A traffic. The A→B
+        // direction drains from the real bus_a and sends onto the real
+        // bus_b, so it completes; the B→A direction then fails on its drain
+        // of the foreign bus.
+        let mut foreign = CanBus::new(500_000);
+        let err = gw.pump(&mut a, &mut foreign);
+        // A→B send also fails here (node_b is unknown on `foreign`), so the
+        // A-side frame must be requeued, not lost.
+        assert!(err.is_err());
+        assert_eq!(a.node(gw.endpoint_a()).unwrap().controller().rx_pending(), 1);
+        // Recovery with the right buses moves both directions.
+        gw.pump(&mut a, &mut b).unwrap();
+        a.run_until_idle();
+        b.run_until_idle();
+        assert_eq!(gw.forwarded(), 2);
     }
 }

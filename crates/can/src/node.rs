@@ -213,6 +213,14 @@ impl CanNode {
         self.controller.pop_rx()
     }
 
+    /// Returns a received frame to the front of the RX queue. The gateway
+    /// uses this to undo a partial drain when forwarding fails mid-pump, so
+    /// drained frames are never silently lost. Returns whether the frame
+    /// fit back in the queue.
+    pub fn requeue_rx(&mut self, frame: CanFrame) -> bool {
+        self.controller.push_rx_front(frame)
+    }
+
     /// Bus-side: takes the next frame to transmit, applying the egress
     /// interposer. Blocked frames are consumed and counted, and the next
     /// candidate is offered, so a blocked frame cannot wedge the queue.

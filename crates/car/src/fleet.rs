@@ -1,0 +1,942 @@
+//! Fleet-scale scenario engine (DESIGN.md §7).
+//!
+//! The single-car attack matrix measures *outcomes*; this module measures the
+//! *system* under load: N vehicles, each a segmented CAN topology — a
+//! powertrain segment and a comfort/telematics segment bridged by a
+//! whitelist [`Gateway`] — with a hardware policy engine on every node, a
+//! segment-level HPE on each gateway endpoint, and one `polsec-core`
+//! [`PolicyEngine`] **shared by the whole fleet** auditing every frame that
+//! crosses a gateway.
+//!
+//! Each vehicle is driven by its own `polsec-sim` [`Scheduler`]: component
+//! ticks fire at a jittered period, attack injections arrive as separate
+//! events, and all jitter comes from a [`DetRng`] stream derived from
+//! `(master seed, vehicle index)` — so a vehicle's entire run is a pure
+//! function of the seed, its index, and the configuration. Vehicles run in
+//! parallel on [`run_sharded`], which merges per-vehicle [`MetricSet`]s in
+//! index order; the merged metrics of a fleet run are therefore
+//! byte-reproducible at any thread count. Wall-clock measurements (shared
+//! policy-engine decide latency) are recorded under the `wall.` prefix and
+//! split out of the deterministic section by [`run_fleet`].
+//!
+//! # Determinism contract
+//!
+//! `FleetReport::metrics` depends only on `(FleetConfig, seed)`. Three
+//! things are deliberately excluded from it: wall-clock latencies (`wall.*`),
+//! shared-engine cache statistics (hit/miss counts depend on thread
+//! interleaving), and per-component application policy (its rate trackers
+//! would be shared across concurrently running vehicles). Everything else —
+//! frame counts, gateway counters, HPE telemetry, verdict-cycle quantiles,
+//! attack accounting — must replay identically, and `polsec-bench`'s `fleet`
+//! binary asserts that it does.
+
+use crate::attacks::SpoofFirmware;
+use crate::builder::CarStates;
+use crate::components::{
+    door_locks_firmware, ecu_firmware, engine_firmware, eps_firmware, infotainment_firmware,
+    safety_firmware, sensors_firmware, telematics_firmware,
+};
+use crate::messages::{
+    self, command_frame, legitimate_reads, legitimate_writes, parse_command, Origin,
+};
+use crate::security_model::car_policy;
+use polsec_can::gateway::Segment;
+use polsec_can::{
+    AcceptanceFilter, BusEvent, CanBus, CanFrame, CanId, CanNode, ForwardRule, Gateway, NodeHandle,
+};
+use polsec_core::{AccessRequest, Action, EntityId, EvalContext, PolicyEngine};
+use polsec_hpe::{ApprovedLists, HardwarePolicyEngine};
+use polsec_sim::{run_sharded, DetRng, MetricSet, Scheduler, SimDuration};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Powertrain-segment nodes (segment A).
+const POWERTRAIN_NODES: [&str; 6] = [
+    "ev-ecu",
+    "eps",
+    "engine",
+    "sensors",
+    "safety-critical",
+    "door-locks",
+];
+
+/// Comfort/telematics-segment nodes (segment B).
+const COMFORT_NODES: [&str; 2] = ["telematics", "infotainment"];
+
+/// Identifiers legitimately crossing powertrain → comfort (status and
+/// sensor broadcasts the head unit and telematics consume).
+const CROSS_A_TO_B: [u16; 5] = [
+    messages::SENSOR_WHEEL_SPEED,
+    messages::ECU_STATUS,
+    messages::DOOR_LOCK_STATUS,
+    messages::SAFETY_EVENT,
+    messages::MODE_CHANGE,
+];
+
+/// Identifiers legitimately crossing comfort → powertrain (remote
+/// diagnostics only).
+const CROSS_B_TO_A: [u16; 1] = [messages::DIAG_REQUEST];
+
+/// Identifiers no node legitimately transmits — any frame carrying one is
+/// attack traffic, which makes leak accounting unambiguous.
+const ATTACK_IDS: [u16; 4] = [
+    messages::ECU_COMMAND,
+    messages::EPS_COMMAND,
+    messages::MODEM_CONTROL,
+    messages::ALARM_CONTROL,
+];
+
+/// Which enforcement layers a fleet run activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEnforcement {
+    /// Whitelist forwarding rules on every vehicle gateway (deny-by-default
+    /// segmentation). Off = the gateway forwards everything.
+    pub gateway_whitelist: bool,
+    /// A hardware policy engine interposed on every component node.
+    pub node_hpe: bool,
+    /// A hardware policy engine on each gateway endpoint, gating what may
+    /// enter or leave a segment regardless of the rule table.
+    pub segment_hpe: bool,
+}
+
+impl FleetEnforcement {
+    /// The baseline policy: every layer on.
+    pub fn baseline() -> Self {
+        FleetEnforcement {
+            gateway_whitelist: true,
+            node_hpe: true,
+            segment_hpe: true,
+        }
+    }
+
+    /// Everything off (the unprotected fleet).
+    pub fn none() -> Self {
+        FleetEnforcement {
+            gateway_whitelist: false,
+            node_hpe: false,
+            segment_hpe: false,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.gateway_whitelist {
+            parts.push("gw");
+        }
+        if self.node_hpe {
+            parts.push("hpe");
+        }
+        if self.segment_hpe {
+            parts.push("seg-hpe");
+        }
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Configuration of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of vehicles (= shards).
+    pub vehicles: usize,
+    /// Master seed; vehicle `i` runs on `DetRng::stream(seed, i)`.
+    pub seed: u64,
+    /// Each vehicle runs until its buses have carried this many frames.
+    pub frames_per_vehicle: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Base component tick period.
+    pub tick_period: SimDuration,
+    /// Maximum jitter applied to each tick (uniform in `±tick_jitter`).
+    pub tick_jitter: SimDuration,
+    /// Base period between outside attack injections.
+    pub inject_period: SimDuration,
+    /// Maximum jitter applied to each injection interval (uniform in
+    /// `±inject_jitter`).
+    pub inject_jitter: SimDuration,
+    /// Probability that a vehicle additionally suffers an inside firmware
+    /// compromise of its door-lock node.
+    pub inside_attack_chance: f64,
+    /// Active enforcement layers.
+    pub enforcement: FleetEnforcement,
+}
+
+impl FleetConfig {
+    /// A baseline-enforcement config with the standard timing parameters.
+    pub fn new(vehicles: usize, frames_per_vehicle: u64) -> Self {
+        FleetConfig {
+            vehicles,
+            seed: 0xF1EE7,
+            frames_per_vehicle,
+            threads: 0,
+            tick_period: SimDuration::millis(10),
+            tick_jitter: SimDuration::millis(2),
+            inject_period: SimDuration::millis(35),
+            inject_jitter: SimDuration::millis(15),
+            inside_attack_chance: 0.3,
+            enforcement: FleetEnforcement::baseline(),
+        }
+    }
+}
+
+/// The outside attack kind a vehicle's injected traffic uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutsideAttack {
+    /// Spoofed propulsion-disable command (Table I row 1 class).
+    EcuDisable,
+    /// Spoofed steering-assist deactivation (row 5 class).
+    EpsDisable,
+    /// Modem power-off, cutting fail-safe comms (rows 9/10 class).
+    ModemKill,
+    /// Alarm disablement to allow theft (row 16 class).
+    AlarmKill,
+}
+
+impl OutsideAttack {
+    const ALL: [OutsideAttack; 4] = [
+        OutsideAttack::EcuDisable,
+        OutsideAttack::EpsDisable,
+        OutsideAttack::ModemKill,
+        OutsideAttack::AlarmKill,
+    ];
+
+    /// Builds the attack frame; `seq` is a per-vehicle sequence marker so
+    /// delivered copies of one injection can be deduplicated into a
+    /// per-frame leak count.
+    fn frame(self, seq: u32) -> CanFrame {
+        let (id, cmd, origin) = match self {
+            OutsideAttack::EcuDisable => (messages::ECU_COMMAND, 0x02, Origin::Telematics),
+            OutsideAttack::EpsDisable => (messages::EPS_COMMAND, 0x02, Origin::Diagnostics),
+            OutsideAttack::ModemKill => (messages::MODEM_CONTROL, 0x00, Origin::Telematics),
+            OutsideAttack::AlarmKill => (messages::ALARM_CONTROL, 0x00, Origin::Infotainment),
+        };
+        let marker = seq.to_le_bytes();
+        command_frame(id, cmd, origin, &marker[..3]).expect("attack frames are well-formed")
+    }
+
+    fn metric(self) -> &'static str {
+        match self {
+            OutsideAttack::EcuDisable => "attack.profile.ecu",
+            OutsideAttack::EpsDisable => "attack.profile.eps",
+            OutsideAttack::ModemKill => "attack.profile.modem",
+            OutsideAttack::AlarmKill => "attack.profile.alarm",
+        }
+    }
+}
+
+/// Per-vehicle scheduler events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VehicleEvent {
+    /// One component round: tick all firmware, run both buses, pump the
+    /// gateway, account.
+    Tick,
+    /// Inject one outside attack frame from the OBD dongle.
+    Inject,
+    /// Replace the door-lock firmware with a spoofing implant.
+    Compromise,
+}
+
+/// One vehicle of the fleet: two CAN segments, a gateway, per-node and
+/// per-segment HPEs, and a handle on the fleet-shared policy engine.
+pub struct Vehicle {
+    powertrain: CanBus,
+    comfort: CanBus,
+    gateway: Gateway,
+    seg_hpe_a: Option<HardwarePolicyEngine>,
+    seg_hpe_b: Option<HardwarePolicyEngine>,
+    node_hpes: BTreeMap<String, HardwarePolicyEngine>,
+    nodes_a: Vec<NodeHandle>,
+    nodes_b: Vec<NodeHandle>,
+    attacker: NodeHandle,
+    door_locks: NodeHandle,
+    engine: Arc<PolicyEngine>,
+    ctx: EvalContext,
+    rng: DetRng,
+    scheduler: Scheduler<VehicleEvent>,
+    states: CarStates,
+    outside: OutsideAttack,
+    inside_attack: bool,
+    compromised: bool,
+    inject_seq: u32,
+    frames_quota: u64,
+    metrics: MetricSet,
+}
+
+impl std::fmt::Debug for Vehicle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vehicle")
+            .field("powertrain_nodes", &self.powertrain.node_count())
+            .field("comfort_nodes", &self.comfort.node_count())
+            .field("outside", &self.outside)
+            .field("inside_attack", &self.inside_attack)
+            .finish()
+    }
+}
+
+fn hpe_lists_for(node: &str) -> ApprovedLists {
+    let mut lists = ApprovedLists::with_capacity(16);
+    for id in legitimate_reads(node) {
+        lists
+            .allow_read(CanId::Standard(id))
+            .expect("communication matrix fits hpe capacity");
+    }
+    for id in legitimate_writes(node) {
+        lists
+            .allow_write(CanId::Standard(id))
+            .expect("communication matrix fits hpe capacity");
+    }
+    lists
+}
+
+fn segment_hpe_lists(ingress: &[u16], egress: &[u16]) -> ApprovedLists {
+    let mut lists = ApprovedLists::with_capacity(16);
+    for &id in ingress {
+        lists
+            .allow_read(CanId::Standard(id))
+            .expect("crossing matrix fits hpe capacity");
+    }
+    for &id in egress {
+        lists
+            .allow_write(CanId::Standard(id))
+            .expect("crossing matrix fits hpe capacity");
+    }
+    lists
+}
+
+/// Whether the identifier is a command (checked as a `Write` from its
+/// claimed origin) rather than a status broadcast (checked as a boundary
+/// `Read`).
+fn is_command_id(id: u16) -> bool {
+    matches!(
+        id,
+        messages::ECU_COMMAND
+            | messages::EPS_COMMAND
+            | messages::ENGINE_COMMAND
+            | messages::DOOR_LOCK_COMMAND
+            | messages::MODEM_CONTROL
+            | messages::ALARM_CONTROL
+            | messages::TELEMATICS_CMD
+    )
+}
+
+/// The policy asset a crossing frame concerns, if the identifier maps onto
+/// one the fleet policy knows about.
+fn asset_for_id(id: u16) -> Option<&'static str> {
+    match id {
+        messages::ECU_COMMAND | messages::ECU_STATUS => Some("ev-ecu"),
+        messages::EPS_COMMAND | messages::EPS_STATUS => Some("eps"),
+        messages::ENGINE_COMMAND | messages::ENGINE_STATUS => Some("engine"),
+        messages::DOOR_LOCK_COMMAND | messages::DOOR_LOCK_STATUS => Some("door-locks"),
+        messages::MODEM_CONTROL => Some("3g-4g-wifi"),
+        messages::ALARM_CONTROL
+        | messages::SAFETY_EVENT
+        | messages::FAILSAFE_TRIGGER
+        | messages::MODE_CHANGE => Some("safety-critical"),
+        _ => None,
+    }
+}
+
+fn is_attack_id(id: CanId) -> bool {
+    // The command id map is standard-id space; an extended id with the same
+    // low bits is a different identifier.
+    !id.is_extended() && ATTACK_IDS.iter().any(|&a| u32::from(a) == id.raw())
+}
+
+impl Vehicle {
+    /// Builds vehicle `index` of a fleet: topology, enforcement and attack
+    /// profile all derive from `cfg` and `DetRng::stream(cfg.seed, index)`.
+    pub fn build(cfg: &FleetConfig, index: usize, engine: Arc<PolicyEngine>) -> Self {
+        let mut rng = DetRng::stream(cfg.seed, index as u64);
+        let mut powertrain = CanBus::new(500_000);
+        let mut comfort = CanBus::new(500_000);
+
+        let (ecu_fw, ecu) = ecu_firmware(None);
+        let (eps_fw, eps) = eps_firmware(None);
+        let (engine_fw, engine_state) = engine_firmware(None);
+        let (tel_fw, telematics) = telematics_firmware(None);
+        let (info_fw, infotainment) = infotainment_firmware(None, None);
+        let (locks_fw, door_locks_state) = door_locks_firmware(None);
+        let (safety_fw, safety) = safety_firmware(None);
+        let (sensors_fw, sensors) = sensors_firmware();
+
+        let states = CarStates {
+            ecu,
+            eps,
+            engine: engine_state,
+            telematics,
+            infotainment,
+            door_locks: door_locks_state,
+            safety,
+            sensors,
+        };
+
+        let mut firmwares: BTreeMap<&str, Box<dyn polsec_can::Firmware>> = BTreeMap::new();
+        firmwares.insert("ev-ecu", ecu_fw);
+        firmwares.insert("eps", eps_fw);
+        firmwares.insert("engine", engine_fw);
+        firmwares.insert("telematics", tel_fw);
+        firmwares.insert("infotainment", info_fw);
+        firmwares.insert("door-locks", locks_fw);
+        firmwares.insert("safety-critical", safety_fw);
+        firmwares.insert("sensors", sensors_fw);
+
+        let mut node_hpes = BTreeMap::new();
+        let mut attach = |bus: &mut CanBus, name: &str, fw: Box<dyn polsec_can::Firmware>| {
+            let mut node = CanNode::with_firmware(name, fw);
+            if cfg.enforcement.node_hpe {
+                let hpe = HardwarePolicyEngine::new(format!("{name}-hpe"), hpe_lists_for(name));
+                node.install_interposer(Box::new(hpe.clone()));
+                node_hpes.insert(name.to_string(), hpe);
+            }
+            bus.attach(node)
+        };
+
+        let mut nodes_a = Vec::new();
+        let mut door_locks = None;
+        for name in POWERTRAIN_NODES {
+            let fw = firmwares.remove(name).expect("every powertrain node has firmware");
+            let h = attach(&mut powertrain, name, fw);
+            if name == "door-locks" {
+                door_locks = Some(h);
+            }
+            nodes_a.push(h);
+        }
+        let mut nodes_b = Vec::new();
+        for name in COMFORT_NODES {
+            let fw = firmwares.remove(name).expect("every comfort node has firmware");
+            nodes_b.push(attach(&mut comfort, name, fw));
+        }
+        let attacker = comfort.attach(CanNode::new("obd-dongle"));
+
+        let mut gateway = Gateway::bridge(&mut powertrain, &mut comfort, "gw");
+        if cfg.enforcement.gateway_whitelist {
+            for id in CROSS_A_TO_B {
+                gateway.allow(ForwardRule {
+                    from: Segment::A,
+                    filter: AcceptanceFilter::standard(u32::from(id), 0x7FF),
+                });
+            }
+            for id in CROSS_B_TO_A {
+                gateway.allow(ForwardRule {
+                    from: Segment::B,
+                    filter: AcceptanceFilter::standard(u32::from(id), 0x7FF),
+                });
+            }
+        } else {
+            gateway
+                .allow(ForwardRule {
+                    from: Segment::A,
+                    filter: AcceptanceFilter::any_standard(),
+                })
+                .allow(ForwardRule {
+                    from: Segment::B,
+                    filter: AcceptanceFilter::any_standard(),
+                });
+        }
+
+        let (mut seg_hpe_a, mut seg_hpe_b) = (None, None);
+        if cfg.enforcement.segment_hpe {
+            let a = HardwarePolicyEngine::new(
+                "gw-hpe-a",
+                segment_hpe_lists(&CROSS_A_TO_B, &CROSS_B_TO_A),
+            );
+            let b = HardwarePolicyEngine::new(
+                "gw-hpe-b",
+                segment_hpe_lists(&CROSS_B_TO_A, &CROSS_A_TO_B),
+            );
+            powertrain
+                .node_mut(gateway.endpoint_a())
+                .expect("endpoint a is on the powertrain bus")
+                .install_interposer(Box::new(a.clone()));
+            comfort
+                .node_mut(gateway.endpoint_b())
+                .expect("endpoint b is on the comfort bus")
+                .install_interposer(Box::new(b.clone()));
+            seg_hpe_a = Some(a);
+            seg_hpe_b = Some(b);
+        }
+
+        // Attack profile: one outside kind per vehicle, plus a chance of an
+        // inside firmware compromise. All draws come from the vehicle's
+        // stream, in a fixed order.
+        let outside = *rng.pick(&OutsideAttack::ALL).expect("non-empty attack set");
+        let inside_attack = rng.chance(cfg.inside_attack_chance);
+
+        let mut scheduler = Scheduler::new();
+        let first_tick = rng.range_inclusive(0, cfg.tick_period.as_micros());
+        scheduler.schedule_in(SimDuration::micros(first_tick), VehicleEvent::Tick);
+        let first_inject = rng.range_inclusive(
+            cfg.inject_period.as_micros() / 2,
+            cfg.inject_period.as_micros() * 2,
+        );
+        scheduler.schedule_in(SimDuration::micros(first_inject), VehicleEvent::Inject);
+        if inside_attack {
+            // the implant activates some way into the run
+            let at = rng.range_inclusive(
+                cfg.tick_period.as_micros() * 5,
+                cfg.tick_period.as_micros() * 50,
+            );
+            scheduler.schedule_in(SimDuration::micros(at), VehicleEvent::Compromise);
+        }
+
+        let ctx = EvalContext::new()
+            .with_mode("normal")
+            .with_state("vehicle.moving", "true")
+            .with_state("crash", "false")
+            .with_state("stolen", "false");
+
+        let mut metrics = MetricSet::new();
+        metrics.count("fleet.vehicles", 1);
+        metrics.count(outside.metric(), 1);
+        if inside_attack {
+            metrics.count("attack.profile.inside", 1);
+        }
+
+        Vehicle {
+            powertrain,
+            comfort,
+            gateway,
+            seg_hpe_a,
+            seg_hpe_b,
+            node_hpes,
+            nodes_a,
+            nodes_b,
+            attacker,
+            door_locks: door_locks.expect("door-locks is a powertrain node"),
+            engine,
+            ctx,
+            rng,
+            scheduler,
+            states,
+            outside,
+            inside_attack,
+            compromised: false,
+            inject_seq: 0,
+            frames_quota: cfg.frames_per_vehicle,
+            metrics,
+        }
+    }
+
+    /// Component state handles (for scenario assertions).
+    pub fn states(&self) -> &CarStates {
+        &self.states
+    }
+
+    /// Whether the inside implant is part of this vehicle's profile.
+    pub fn has_inside_attack(&self) -> bool {
+        self.inside_attack
+    }
+
+    fn frames_on_wire(&self) -> u64 {
+        self.powertrain.stats().frames_transmitted + self.comfort.stats().frames_transmitted
+    }
+
+    fn jittered(&mut self, base: SimDuration, jitter: SimDuration) -> SimDuration {
+        let base = base.as_micros().max(1);
+        let j = jitter.as_micros().min(base - 1);
+        SimDuration::micros(self.rng.range_inclusive(base - j, base + j))
+    }
+
+    /// Runs the vehicle to its frame quota and returns its metrics
+    /// (including `wall.*` entries the caller is expected to split off).
+    pub fn run(mut self, cfg: &FleetConfig) -> MetricSet {
+        // Event bound: ticks dominate and each tick carries several frames,
+        // so this only trips if traffic generation stalls entirely.
+        let max_events = self.frames_quota * 4 + 10_000;
+        let mut events = 0;
+        while self.frames_on_wire() < self.frames_quota && events < max_events {
+            let Some((_, event)) = self.scheduler.pop() else {
+                break;
+            };
+            events += 1;
+            match event {
+                VehicleEvent::Tick => self.on_tick(cfg),
+                VehicleEvent::Inject => self.on_inject(cfg),
+                VehicleEvent::Compromise => self.on_compromise(),
+            }
+        }
+        self.finish()
+    }
+
+    fn on_tick(&mut self, cfg: &FleetConfig) {
+        self.powertrain.tick_all();
+        self.comfort.tick_all();
+        if self.compromised {
+            // the implant emits one spoof frame per tick
+            self.metrics.count("attack.injected", 1);
+        }
+        self.powertrain.run_until_idle();
+        self.comfort.run_until_idle();
+        self.gateway
+            .pump(&mut self.powertrain, &mut self.comfort)
+            .expect("gateway endpoints are on their own buses");
+        self.powertrain.run_until_idle();
+        self.comfort.run_until_idle();
+        self.observe_bus_events();
+        self.drain_rx_queues();
+        self.metrics.count("sim.ticks", 1);
+        let next = self.jittered(cfg.tick_period, cfg.tick_jitter);
+        self.scheduler.schedule_in(next, VehicleEvent::Tick);
+    }
+
+    fn on_inject(&mut self, cfg: &FleetConfig) {
+        self.inject_seq += 1;
+        let frame = self.outside.frame(self.inject_seq);
+        let _ = self.comfort.send_from(self.attacker, frame);
+        self.metrics.count("attack.injected", 1);
+        let next = self.jittered(cfg.inject_period, cfg.inject_jitter);
+        self.scheduler.schedule_in(next, VehicleEvent::Inject);
+    }
+
+    fn on_compromise(&mut self) {
+        let spoof = command_frame(messages::ECU_COMMAND, 0x02, Origin::SafetyCritical, &[])
+            .expect("attack frames are well-formed");
+        if let Some(node) = self.powertrain.node_mut(self.door_locks) {
+            node.replace_firmware(Box::new(SpoofFirmware::new(vec![spoof])));
+            node.controller_mut().filters_mut().clear();
+        }
+        if let Some(hpe) = self.node_hpes.get("door-locks") {
+            // the implant tries to open its own hardware gate; counted, refused
+            let _ = hpe.firmware_attempt_reconfigure();
+        }
+        self.compromised = true;
+        self.metrics.count("attack.compromises", 1);
+    }
+
+    /// Accounts bus events since the last tick: wire-level attack frames and
+    /// gateway crossings (with the shared-engine policy check per crossing
+    /// command frame).
+    fn observe_bus_events(&mut self) {
+        let ep_a = self.gateway.endpoint_a();
+        let ep_b = self.gateway.endpoint_b();
+        for (events, endpoint, victim_segment) in [
+            (self.powertrain.drain_events(), ep_a, true),
+            (self.comfort.drain_events(), ep_b, false),
+        ] {
+            for event in events {
+                let BusEvent::Transmitted { from, frame, .. } = event else {
+                    continue;
+                };
+                let attack = is_attack_id(frame.id());
+                if attack {
+                    self.metrics.count("attack.wire", 1);
+                    if victim_segment {
+                        // on the powertrain wire, whether it got there via
+                        // the gateway or from an inside implant
+                        self.metrics.count("attack.victim_wire", 1);
+                    }
+                }
+                if from == endpoint {
+                    self.metrics.count("gateway.crossed", 1);
+                    if attack {
+                        self.metrics.count("attack.crossed_gateway", 1);
+                    }
+                    self.check_crossing(&frame, victim_segment);
+                }
+            }
+        }
+    }
+
+    /// The fleet-level policy check: every command frame crossing a gateway
+    /// is judged by the shared engine, and its verdict cost is sampled from
+    /// the receiving segment's HPE.
+    fn check_crossing(&mut self, frame: &CanFrame, into_powertrain: bool) {
+        let seg_hpe = if into_powertrain {
+            &self.seg_hpe_a
+        } else {
+            &self.seg_hpe_b
+        };
+        if let Some(hpe) = seg_hpe {
+            let (_, cycles) = hpe.probe_write(frame.id());
+            self.metrics.observe("verdict.cycles", u64::from(cycles));
+        }
+        // The asset/command maps cover the standard-id space only; extended
+        // ids must not alias onto them through low-bit truncation.
+        let CanId::Standard(id) = frame.id() else {
+            return;
+        };
+        let Some(asset) = asset_for_id(id) else {
+            return;
+        };
+        // Commands are judged as a write from their claimed origin — a
+        // command frame whose payload does not parse claims no origin and is
+        // judged as a write from an unrecognised entry, which the
+        // default-deny policy flags. Status broadcasts are judged as the
+        // consuming segment boundary reading the asset.
+        let (entry, action) = if is_command_id(id) {
+            match parse_command(frame) {
+                Some((_, origin)) => (origin.entry_point_id(), Action::Write),
+                None => ("unknown", Action::Write),
+            }
+        } else if into_powertrain {
+            ("telematics", Action::Read)
+        } else {
+            ("infotainment-ui", Action::Read)
+        };
+        let request = AccessRequest::new(
+            EntityId::new("entry", entry),
+            EntityId::new("asset", asset),
+            action,
+        );
+        let started = Instant::now();
+        let decision = self.engine.decide(&request, &self.ctx);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.metrics.observe("wall.decide_ns", elapsed);
+        self.metrics.count("policy.checked", 1);
+        if !decision.is_allow() {
+            self.metrics.count("policy.denied", 1);
+        }
+    }
+
+    /// Empties every legitimate node's RX queue, counting delivered attack
+    /// frames both per copy (`attack.leaked`) and per distinct frame
+    /// (`attack.leaked_frames`) — the latter is in the same units as
+    /// `attack.injected`, via each frame's sequence marker.
+    fn drain_rx_queues(&mut self) {
+        let mut leaked = 0;
+        let mut consumed = 0;
+        // (id, payload) identifies one injection within a tick: outside
+        // frames carry a unique sequence marker and the inside implant
+        // emits one spoof per tick.
+        let mut leaked_frames: std::collections::BTreeSet<(u32, Vec<u8>)> =
+            std::collections::BTreeSet::new();
+        let mut drain = |bus: &mut CanBus, handles: &[NodeHandle]| {
+            for &h in handles {
+                if let Some(node) = bus.node_mut(h) {
+                    while let Some(f) = node.receive() {
+                        if is_attack_id(f.id()) {
+                            leaked += 1;
+                            leaked_frames.insert((f.id().raw(), f.payload().to_vec()));
+                        } else {
+                            consumed += 1;
+                        }
+                    }
+                }
+            }
+        };
+        drain(&mut self.powertrain, &self.nodes_a);
+        drain(&mut self.comfort, &self.nodes_b);
+        // the attacker's own RX is drained but not counted
+        if let Some(node) = self.comfort.node_mut(self.attacker) {
+            while node.receive().is_some() {}
+        }
+        self.metrics.count("attack.leaked", leaked);
+        self.metrics
+            .count("attack.leaked_frames", leaked_frames.len() as u64);
+        self.metrics.count("frames.consumed", consumed);
+    }
+
+    /// Folds final bus statistics, gateway counters and HPE telemetry into
+    /// the metric set.
+    fn finish(mut self) -> MetricSet {
+        // Zero-initialise conditionally-counted metrics so the *counter*
+        // shape is identical across enforcement configurations (histograms
+        // like verdict.cycles still only exist where their source layer is
+        // enabled).
+        for key in [
+            "attack.injected",
+            "attack.wire",
+            "attack.victim_wire",
+            "attack.crossed_gateway",
+            "attack.leaked",
+            "attack.leaked_frames",
+            "attack.compromises",
+            "gateway.crossed",
+            "policy.checked",
+            "policy.denied",
+            "hpe.granted",
+            "hpe.read_blocked",
+            "hpe.write_blocked",
+            "hpe.tamper_attempts",
+            "hpe.cycles",
+        ] {
+            self.metrics.count(key, 0);
+        }
+        for bus in [&self.powertrain, &self.comfort] {
+            let stats = bus.stats();
+            self.metrics.count("frames.transmitted", stats.frames_transmitted);
+            self.metrics.count("frames.delivered", stats.frames_delivered);
+            self.metrics.count("frames.rejected", stats.frames_rejected);
+            self.metrics.count("frames.abandoned", stats.frames_abandoned);
+            self.metrics
+                .count("frames.blocked_ingress", stats.frames_blocked_ingress);
+            self.metrics
+                .count("frames.blocked_egress", stats.frames_blocked_egress);
+            self.metrics.count("bus.time_us", bus.now().as_micros());
+        }
+        self.metrics.count("gateway.forwarded", self.gateway.forwarded());
+        self.metrics.count("gateway.dropped", self.gateway.dropped());
+        let seg_hpes = self.seg_hpe_a.iter().chain(self.seg_hpe_b.iter());
+        for hpe in self.node_hpes.values().chain(seg_hpes) {
+            let t = hpe.telemetry();
+            self.metrics.count("hpe.granted", t.read_granted + t.write_granted);
+            self.metrics.count("hpe.read_blocked", t.read_blocked);
+            self.metrics.count("hpe.write_blocked", t.write_blocked);
+            self.metrics.count("hpe.tamper_attempts", t.tamper_attempts);
+            self.metrics.count("hpe.cycles", t.total_cycles);
+        }
+        self.metrics
+            .count("sim.time_us", self.scheduler.now().as_micros());
+        self.metrics
+    }
+}
+
+/// The outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The deterministic metrics: a pure function of `(config, seed)`.
+    pub metrics: MetricSet,
+    /// Wall-clock measurements and shared-engine statistics — excluded from
+    /// the determinism contract.
+    pub wall: MetricSet,
+    /// Number of vehicles simulated.
+    pub vehicles: usize,
+    /// Wall-clock duration of the run, in seconds.
+    pub elapsed_sec: f64,
+}
+
+impl FleetReport {
+    /// Total frames the fleet's buses carried.
+    pub fn frames(&self) -> u64 {
+        self.metrics.counter("frames.transmitted")
+    }
+
+    /// Attack frame deliveries that reached a legitimate node's application
+    /// layer.
+    pub fn leaked(&self) -> u64 {
+        self.metrics.counter("attack.leaked")
+    }
+}
+
+/// Runs a whole fleet: builds the shared policy engine, shards vehicles over
+/// the worker pool, merges per-vehicle metrics in index order and splits the
+/// wall-clock section out of the deterministic one.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let engine = Arc::new(PolicyEngine::from_policy(car_policy()));
+    let started = Instant::now();
+    let mut merged = run_sharded(cfg.vehicles, cfg.threads, |i| {
+        Vehicle::build(cfg, i, Arc::clone(&engine)).run(cfg)
+    });
+    let elapsed_sec = started.elapsed().as_secs_f64();
+    let mut wall = merged.split_off_prefix("wall.");
+    for (name, value) in engine.stats().as_pairs() {
+        wall.count(&format!("engine.{name}"), value);
+    }
+    FleetReport {
+        metrics: merged,
+        wall,
+        vehicles: cfg.vehicles,
+        elapsed_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::lock;
+
+    fn tiny(enforcement: FleetEnforcement) -> FleetConfig {
+        let mut cfg = FleetConfig::new(3, 400);
+        cfg.enforcement = enforcement;
+        cfg.threads = 2;
+        cfg
+    }
+
+    #[test]
+    fn baseline_fleet_leaks_nothing() {
+        let report = run_fleet(&tiny(FleetEnforcement::baseline()));
+        assert!(report.frames() >= 3 * 400, "quota must be reached");
+        assert_eq!(report.leaked(), 0, "full enforcement must stop every attack");
+        assert!(report.metrics.counter("attack.injected") > 0);
+        assert!(report.metrics.counter("gateway.crossed") > 0, "legit traffic crosses");
+        assert!(report.metrics.counter("policy.checked") > 0);
+    }
+
+    #[test]
+    fn unprotected_fleet_leaks() {
+        let report = run_fleet(&tiny(FleetEnforcement::none()));
+        assert!(report.leaked() > 0, "no enforcement must leak attack frames");
+    }
+
+    #[test]
+    fn fleet_metrics_replay_byte_identically() {
+        let cfg = tiny(FleetEnforcement::baseline());
+        let mut a = run_fleet(&cfg);
+        let mut b = run_fleet(&cfg);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        // and across thread counts
+        let mut serial = cfg.clone();
+        serial.threads = 1;
+        let mut c = run_fleet(&serial);
+        assert_eq!(a.metrics.to_json(), c.metrics.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = tiny(FleetEnforcement::baseline());
+        let mut other = cfg.clone();
+        other.seed = cfg.seed + 1;
+        let mut a = run_fleet(&cfg);
+        let mut b = run_fleet(&other);
+        assert_ne!(
+            a.metrics.to_json(),
+            b.metrics.to_json(),
+            "seed must steer jitter and attack profiles"
+        );
+    }
+
+    #[test]
+    fn single_vehicle_normal_traffic_crosses_the_gateway() {
+        let cfg = FleetConfig::new(1, 300);
+        let engine = Arc::new(PolicyEngine::from_policy(car_policy()));
+        let vehicle = Vehicle::build(&cfg, 0, Arc::clone(&engine));
+        let states = vehicle.states().clone();
+        let mut metrics = vehicle.run(&cfg);
+        // wheel-speed broadcasts crossed into the comfort segment and
+        // reached the head unit's display state
+        assert_eq!(lock(&states.infotainment).displayed_speed, 60);
+        assert!(metrics.counter("gateway.crossed") > 0);
+        assert!(metrics.counter("frames.transmitted") >= 300);
+        assert!(metrics.histogram_mut("verdict.cycles").is_some());
+    }
+
+    #[test]
+    fn inside_compromise_is_contained_by_the_node_hpe() {
+        // find a seeded vehicle whose profile includes the inside implant
+        let mut cfg = FleetConfig::new(1, 600);
+        cfg.inside_attack_chance = 1.0;
+        let engine = Arc::new(PolicyEngine::from_policy(car_policy()));
+        let vehicle = Vehicle::build(&cfg, 0, Arc::clone(&engine));
+        assert!(vehicle.has_inside_attack());
+        let states = vehicle.states().clone();
+        let metrics = vehicle.run(&cfg);
+        assert_eq!(metrics.counter("attack.compromises"), 1);
+        assert_eq!(metrics.counter("attack.leaked"), 0);
+        assert!(
+            metrics.counter("hpe.write_blocked") > 0,
+            "the implant's spoofs die at its own egress gate"
+        );
+        assert!(
+            lock(&states.ecu).propulsion_enabled,
+            "the spoofed disable must never reach the ECU"
+        );
+        assert!(metrics.counter("hpe.tamper_attempts") >= 1);
+    }
+
+    #[test]
+    fn enforcement_labels() {
+        assert_eq!(FleetEnforcement::baseline().label(), "gw+hpe+seg-hpe");
+        assert_eq!(FleetEnforcement::none().label(), "none");
+        let gw_only = FleetEnforcement {
+            gateway_whitelist: true,
+            node_hpe: false,
+            segment_hpe: false,
+        };
+        assert_eq!(gw_only.label(), "gw");
+    }
+}

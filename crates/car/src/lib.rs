@@ -18,7 +18,10 @@
 //! * [`security_model`] — the car use case → threat-model pipeline →
 //!   compiled policies,
 //! * [`attacks`] + [`scenario`] — one executable attack per Table I row and
-//!   the runner behind the E1 attack matrix.
+//!   the runner behind the E1 attack matrix,
+//! * [`fleet`] — the fleet-scale scenario engine (DESIGN.md §7): N
+//!   segmented vehicles under mixed attack traffic, sharded over a worker
+//!   pool with byte-reproducible merged metrics.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod attacks;
 pub mod builder;
 pub mod components;
+pub mod fleet;
 pub mod messages;
 pub mod modes;
 pub mod scenario;
@@ -45,6 +49,7 @@ pub mod threats;
 
 pub use attacks::AttackId;
 pub use builder::{Car, CarBuilder, EnforcementConfig};
+pub use fleet::{run_fleet, FleetConfig, FleetEnforcement, FleetReport, Vehicle};
 pub use modes::CarMode;
 pub use scenario::{AttackOutcome, AttackReport, ScenarioRunner};
 pub use security_model::{car_policy, car_security_model, car_use_case};

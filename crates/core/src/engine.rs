@@ -349,6 +349,22 @@ pub struct EngineStats {
     pub cache_misses: u64,
 }
 
+impl EngineStats {
+    /// The counters as `(name, value)` pairs, for uniform export into
+    /// metric sets and reports.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 7] {
+        [
+            ("decisions", self.decisions),
+            ("allows", self.allows),
+            ("denies", self.denies),
+            ("defaults", self.defaults),
+            ("rules_examined", self.rules_examined),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+        ]
+    }
+}
+
 #[derive(Debug, Default)]
 struct EngineCounters {
     decisions: AtomicU64,
@@ -1393,5 +1409,29 @@ mod tests {
         assert_eq!(CombiningStrategy::DenyOverrides.to_string(), "deny-overrides");
         assert_eq!(CombiningStrategy::FirstMatch.to_string(), "first-match");
         assert_eq!(CombiningStrategy::PriorityOrder.to_string(), "priority-order");
+    }
+
+    #[test]
+    fn stats_pairs_mirror_fields() {
+        let stats = EngineStats {
+            decisions: 7,
+            allows: 4,
+            denies: 2,
+            defaults: 1,
+            rules_examined: 30,
+            cache_hits: 5,
+            cache_misses: 2,
+        };
+        let pairs = stats.as_pairs();
+        assert_eq!(pairs.len(), 7);
+        let get = |name: &str| pairs.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("decisions"), 7);
+        assert_eq!(get("allows"), 4);
+        assert_eq!(get("cache_misses"), 2);
+        // every name is distinct
+        let mut names: Vec<&str> = pairs.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
     }
 }

@@ -173,6 +173,23 @@ impl HardwarePolicyEngine {
         self.read_config().lists.clone()
     }
 
+    /// Looks up the read-path (ingress) verdict for `id` without recording
+    /// telemetry: `(granted, cycles)` exactly as the inline engine would
+    /// decide, through the same verdict cache.
+    ///
+    /// A maintenance-port diagnostic — the fleet engine samples
+    /// deterministic verdict costs with it without perturbing the counters
+    /// the experiment is measuring.
+    pub fn probe_read(&self, id: CanId) -> (bool, u32) {
+        self.filter(DIR_READ, id)
+    }
+
+    /// Looks up the write-path (egress) verdict for `id` without recording
+    /// telemetry. See [`HardwarePolicyEngine::probe_read`].
+    pub fn probe_write(&self, id: CanId) -> (bool, u32) {
+        self.filter(DIR_WRITE, id)
+    }
+
     /// The path compromised firmware would have to use: an unauthenticated
     /// reconfiguration request. It **always fails** and is counted.
     ///
@@ -358,6 +375,26 @@ mod tests {
             cycles_after_first * 4,
             "cache hits keep charging the hardware lookup cost"
         );
+    }
+
+    #[test]
+    fn probe_matches_inline_verdicts_without_telemetry() {
+        let hpe = engine_allowing(&[0x100], &[0x300]);
+        assert_eq!(hpe.probe_read(sid(0x100)).0, true);
+        assert_eq!(hpe.probe_read(sid(0x200)).0, false);
+        assert_eq!(hpe.probe_write(sid(0x300)).0, true);
+        assert_eq!(hpe.probe_write(sid(0x100)).0, false);
+        assert!(hpe.probe_read(sid(0x100)).1 > 0, "probe reports cycle cost");
+        let t = hpe.telemetry();
+        assert_eq!(
+            (t.read_granted, t.read_blocked, t.write_granted, t.write_blocked, t.total_cycles),
+            (0, 0, 0, 0, 0),
+            "probing must not perturb telemetry"
+        );
+        // Probe verdicts agree with the inline path and share its cache.
+        let mut inline = hpe.clone();
+        assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x100)), InterposeVerdict::Grant);
+        assert_eq!(inline.on_ingress(SimTime::ZERO, &frame(0x200)), InterposeVerdict::Block);
     }
 
     #[test]

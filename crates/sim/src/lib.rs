@@ -10,6 +10,9 @@
 //! * [`DetRng`] — a seedable, dependency-free xorshift RNG so every
 //!   experiment is reproducible from a single `u64` seed,
 //! * [`metrics`] — counters and histograms used by benches and reports,
+//! * [`shard`] — a deterministic sharded runner that fans independent
+//!   simulations over a thread pool and merges their [`MetricSet`]s in
+//!   shard order,
 //! * [`trace`] — a bounded in-memory trace of simulation records.
 //!
 //! # Example
@@ -34,11 +37,13 @@
 pub mod event;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Scheduler};
 pub use metrics::{Counter, Histogram, MetricSet};
 pub use rng::DetRng;
+pub use shard::run_sharded;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};

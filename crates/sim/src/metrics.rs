@@ -204,6 +204,89 @@ impl MetricSet {
         }
     }
 
+    /// Moves every counter and histogram whose name starts with `prefix`
+    /// into a new set, stripping the prefix from the moved names.
+    ///
+    /// Experiments use this to separate wall-clock measurements (prefixed
+    /// e.g. `wall.`) from the deterministic metrics a replay must reproduce
+    /// byte-for-byte.
+    pub fn split_off_prefix(&mut self, prefix: &str) -> MetricSet {
+        let mut out = MetricSet::new();
+        let counter_keys: Vec<String> = self
+            .counters
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for k in counter_keys {
+            let v = self.counters.remove(&k).unwrap_or(0);
+            out.counters.insert(k[prefix.len()..].to_string(), v);
+        }
+        let hist_keys: Vec<String> = self
+            .histograms
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for k in hist_keys {
+            if let Some(h) = self.histograms.remove(&k) {
+                out.histograms.insert(k[prefix.len()..].to_string(), h);
+            }
+        }
+        out
+    }
+
+    /// Renders the set as a compact, deterministically ordered JSON object:
+    /// counters verbatim, histograms as `{n,min,mean,p50,p90,p99,max}`.
+    ///
+    /// The output is a pure function of the recorded values (names sorted,
+    /// fixed float formatting), so two runs with identical metrics produce
+    /// byte-identical JSON — the replay-determinism checks compare exactly
+    /// this string.
+    pub fn to_json(&mut self) -> String {
+        fn quote(s: &str) -> String {
+            let escaped: String = s
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect();
+            format!("\"{escaped}\"")
+        }
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{}", quote(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        let names: Vec<String> = self.histograms.keys().cloned().collect();
+        let mut first = true;
+        for k in names {
+            let h = self.histograms.get_mut(&k).expect("key just listed");
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (n, min, max) = (h.count(), h.min().unwrap_or(0), h.max().unwrap_or(0));
+            let mean = h.mean().unwrap_or(0.0);
+            let p50 = h.quantile(0.50).unwrap_or(0);
+            let p90 = h.quantile(0.90).unwrap_or(0);
+            let p99 = h.quantile(0.99).unwrap_or(0);
+            out.push_str(&format!(
+                "{}:{{\"n\":{n},\"min\":{min},\"mean\":{mean:.3},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}",
+                quote(&k)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Renders all metrics as aligned text lines, histograms summarised.
     pub fn render(&mut self) -> String {
         let mut out = String::new();
@@ -292,6 +375,42 @@ mod tests {
         let text = m.render();
         assert!(text.contains("granted"));
         assert!(text.contains("latency"));
+    }
+
+    #[test]
+    fn metric_set_json_is_deterministic_and_complete() {
+        let mut m = MetricSet::new();
+        m.count("z.second", 2);
+        m.count("a.first", 1);
+        for v in [5u64, 1, 9, 3] {
+            m.observe("lat", v);
+        }
+        let json = m.to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":1,\"z.second\":2},\"histograms\":{\
+             \"lat\":{\"n\":4,\"min\":1,\"mean\":4.500,\"p50\":3,\"p90\":9,\"p99\":9,\"max\":9}}}"
+        );
+        // Repeated rendering (after the internal sort) is stable.
+        assert_eq!(m.to_json(), json);
+        // Empty set is still valid JSON.
+        assert_eq!(MetricSet::new().to_json(), "{\"counters\":{},\"histograms\":{}}");
+    }
+
+    #[test]
+    fn split_off_prefix_partitions_and_strips() {
+        let mut m = MetricSet::new();
+        m.count("frames", 10);
+        m.count("wall.elapsed_us", 123);
+        m.observe("verdict.cycles", 4);
+        m.observe("wall.decide_ns", 80);
+        let mut wall = m.split_off_prefix("wall.");
+        assert_eq!(wall.counter("elapsed_us"), 123);
+        assert_eq!(wall.histogram_mut("decide_ns").unwrap().count(), 1);
+        assert_eq!(m.counter("frames"), 10);
+        assert_eq!(m.counter("wall.elapsed_us"), 0, "moved out");
+        assert!(m.histogram_mut("wall.decide_ns").is_none());
+        assert!(m.histogram_mut("verdict.cycles").is_some());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Deterministic sharded execution of independent simulation tasks.
+//!
+//! Fleet-scale experiments run many mutually independent simulations (one
+//! per vehicle) and report one merged [`MetricSet`]. [`run_sharded`] fans the
+//! shard indices out over a worker pool, but collects the per-shard results
+//! into a slot table indexed by shard and merges them **in shard order** —
+//! so the merged metrics are a pure function of the per-shard results, not
+//! of thread scheduling. Combined with [`DetRng::stream`](crate::DetRng::stream)
+//! for per-shard seeds, a sharded run is bit-for-bit reproducible at any
+//! thread count.
+
+use crate::metrics::MetricSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `task(shard)` for every shard in `0..shards` on up to `threads`
+/// worker threads and merges the resulting metric sets in shard order.
+///
+/// `threads == 0` uses the available parallelism (or 1 if unknown). The
+/// merge is deterministic: any thread count, including 1, produces an
+/// identical merged [`MetricSet`] as long as each shard's result depends
+/// only on its index.
+///
+/// # Example
+/// ```
+/// use polsec_sim::{shard::run_sharded, MetricSet};
+/// let merged = run_sharded(8, 4, |i| {
+///     let mut m = MetricSet::new();
+///     m.count("shards", 1);
+///     m.observe("index", i as u64);
+///     m
+/// });
+/// assert_eq!(merged.counter("shards"), 8);
+/// ```
+///
+/// # Panics
+/// A panic inside `task` is propagated once all workers have stopped.
+pub fn run_sharded<F>(shards: usize, threads: usize, task: F) -> MetricSet
+where
+    F: Fn(usize) -> MetricSet + Sync,
+{
+    let threads = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(shards.max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<MetricSet>>> = Mutex::new((0..shards).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                let result = task(i);
+                lock(&slots)[i] = Some(result);
+            });
+        }
+    });
+
+    let mut merged = MetricSet::new();
+    for slot in slots.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        if let Some(m) = slot {
+            merged.merge(&m);
+        }
+    }
+    merged
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetRng;
+
+    fn shard_task(i: usize) -> MetricSet {
+        let mut rng = DetRng::stream(99, i as u64);
+        let mut m = MetricSet::new();
+        m.count("events", 10 + (i as u64 % 3));
+        for _ in 0..50 {
+            m.observe("value", rng.next_below(1_000));
+        }
+        m
+    }
+
+    #[test]
+    fn merged_result_is_thread_count_invariant() {
+        let reference = run_sharded(16, 1, shard_task);
+        for threads in [2, 3, 8, 32] {
+            let mut got = run_sharded(16, threads, shard_task);
+            let mut want = reference.clone();
+            assert_eq!(
+                got.to_json(),
+                want.to_json(),
+                "thread count {threads} changed the merged metrics"
+            );
+        }
+    }
+
+    #[test]
+    fn all_shards_execute_exactly_once() {
+        let merged = run_sharded(100, 7, |_| {
+            let mut m = MetricSet::new();
+            m.count("ran", 1);
+            m
+        });
+        assert_eq!(merged.counter("ran"), 100);
+    }
+
+    #[test]
+    fn zero_shards_yield_empty_metrics() {
+        let mut merged = run_sharded(0, 4, |_| MetricSet::new());
+        assert_eq!(merged.counter("anything"), 0);
+        assert_eq!(merged.render(), "");
+    }
+
+    #[test]
+    fn zero_threads_auto_detects_parallelism() {
+        let merged = run_sharded(4, 0, |i| {
+            let mut m = MetricSet::new();
+            m.count("sum", i as u64);
+            m
+        });
+        assert_eq!(merged.counter("sum"), 0 + 1 + 2 + 3);
+    }
+}
