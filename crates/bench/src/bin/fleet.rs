@@ -20,8 +20,10 @@
 //! The process exits non-zero if the replay is not byte-identical or if the
 //! baseline policy leaked any attack frame.
 //!
-//! Usage: `fleet [vehicles] [frames_total] [threads] [seed]`
-//! (defaults 100, 1_000_000, auto, 42).
+//! Usage: `fleet [vehicles] [frames_total] [threads] [seed] [min_fps]`
+//! (defaults 100, 1_000_000, auto, 42, 0). A non-zero `min_fps` turns the
+//! run into a perf gate: the process exits non-zero if the measured
+//! `frames_per_sec` falls below it (CI uses 1.5× the PR 2 seed throughput).
 
 use polsec_car::fleet::{run_fleet, FleetConfig, FleetReport};
 
@@ -37,6 +39,7 @@ fn main() {
     let frames_total: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let min_fps: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.0);
 
     let frames_per_vehicle = (frames_total / vehicles.max(1) as u64).max(1);
     let mut cfg = FleetConfig::new(vehicles, frames_per_vehicle);
@@ -115,6 +118,12 @@ fn main() {
     }
     if leaked > 0 {
         eprintln!("FAIL: baseline enforcement leaked {leaked} attack frame deliveries");
+        failed = true;
+    }
+    if min_fps > 0.0 && frames_per_sec < min_fps {
+        eprintln!(
+            "FAIL: throughput {frames_per_sec:.0} frames/s below the floor {min_fps:.0}"
+        );
         failed = true;
     }
     if failed {

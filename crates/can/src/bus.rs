@@ -104,6 +104,9 @@ pub struct CanBus {
     retrying: Vec<(NodeHandle, CanFrame, u32)>,
     events: Vec<BusEvent>,
     trace: Trace,
+    wire_cache: codec::WireInfoCache,
+    /// Arbitration scratch, reused so steady-state rounds allocate nothing.
+    candidates_buf: Vec<(NodeHandle, CanFrame, u32)>,
 }
 
 impl fmt::Debug for CanBus {
@@ -138,6 +141,8 @@ impl CanBus {
             retrying: Vec::new(),
             events: Vec::new(),
             trace: Trace::default(),
+            wire_cache: codec::WireInfoCache::new(),
+            candidates_buf: Vec::new(),
         }
     }
 
@@ -202,9 +207,24 @@ impl CanBus {
         &self.trace
     }
 
+    /// Mutable access to the trace — used to configure sampling
+    /// ([`Trace::set_sampling`]) or swap in a differently-bounded trace
+    /// before a run.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
     /// Takes all events recorded since the last drain.
     pub fn drain_events(&mut self) -> Vec<BusEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Swaps the recorded events into `buf` (cleared first). Both the bus's
+    /// event vector and the caller's buffer keep their allocations, so a
+    /// periodic drain loop (the fleet tick) allocates nothing once warm.
+    pub fn drain_events_into(&mut self, buf: &mut Vec<BusEvent>) {
+        buf.clear();
+        std::mem::swap(&mut self.events, buf);
     }
 
     /// Ticks every node's firmware once (periodic application work).
@@ -252,12 +272,11 @@ impl CanBus {
     /// Returns the winning frame, or `None` when the bus is idle.
     pub fn step(&mut self) -> Option<CanFrame> {
         // Gather candidates: retries first (they are already egress-cleared),
-        // then one fresh frame per node.
-        let mut candidates: Vec<(NodeHandle, CanFrame, u32)> = Vec::new();
-        let retrying = std::mem::take(&mut self.retrying);
-        for (h, f, attempts) in retrying {
-            candidates.push((h, f, attempts));
-        }
+        // then one fresh frame per node. The scratch vector is owned by the
+        // bus and reused, so a steady-state round performs no allocation.
+        let mut candidates = std::mem::take(&mut self.candidates_buf);
+        candidates.clear();
+        candidates.append(&mut self.retrying);
         let now = self.now;
         for i in 0..self.nodes.len() {
             if candidates.iter().any(|(h, _, _)| h.0 == i) {
@@ -278,6 +297,7 @@ impl CanBus {
             .sum();
 
         if candidates.is_empty() {
+            self.candidates_buf = candidates;
             return None;
         }
 
@@ -297,13 +317,14 @@ impl CanBus {
         let (winner, frame, attempts) = candidates.swap_remove(win_idx);
 
         // Losers requeue into their controllers (retries stay bus-side).
-        for (h, f, att) in candidates {
+        for (h, f, att) in candidates.drain(..) {
             if att > 0 {
                 self.retrying.push((h, f, att));
             } else {
                 self.nodes[h.0].controller_mut().requeue_tx(f);
             }
         }
+        self.candidates_buf = candidates;
 
         // Is anyone listening? A lone node gets no ACK.
         let listeners = self
@@ -318,11 +339,15 @@ impl CanBus {
             _ => false,
         };
 
-        let enc = codec::encode(&frame, listeners > 0 && !corrupted);
+        // Nothing on the bus consumes payload bits off the wire (frames are
+        // delivered as structs), so timing needs only the exact stuffed
+        // length — memoised per content, computed on the stack on a miss,
+        // never materialising a bit buffer.
+        let wire = self.wire_cache.lookup(&frame);
 
         if corrupted || listeners == 0 {
             // Occupies roughly half a frame plus an error flag + delimiter.
-            let bits = (enc.len() as u64) / 2 + 14;
+            let bits = (wire.wire_bits as u64) / 2 + 14;
             self.stats.bits_on_wire += bits;
             let d = self.wire_duration(bits);
             self.stats.busy_time += d;
@@ -342,11 +367,9 @@ impl CanBus {
                 frame: frame.clone(),
                 attempt,
             });
-            self.trace.record(
-                self.now,
-                "bus.corrupt",
-                format!("{frame} from {winner} attempt {attempt}"),
-            );
+            self.trace.record_with(self.now, "bus.corrupt", || {
+                format!("{frame} from {winner} attempt {attempt}")
+            });
             if attempt > self.retry_limit
                 || !self.nodes[winner.0].controller().counters().can_transmit()
             {
@@ -356,7 +379,7 @@ impl CanBus {
                     frame: frame.clone(),
                 });
                 self.trace
-                    .record(self.now, "bus.abandon", format!("{frame} from {winner}"));
+                    .record_with(self.now, "bus.abandon", || format!("{frame} from {winner}"));
             } else {
                 self.retrying.push((winner, frame.clone(), attempt));
             }
@@ -364,9 +387,9 @@ impl CanBus {
         }
 
         // Successful transmission: time = wire bits + 3-bit IFS.
-        let bits = enc.len() as u64 + 3;
+        let bits = wire.wire_bits as u64 + 3;
         self.stats.bits_on_wire += bits;
-        self.stats.stuff_bits += enc.stuff_bits() as u64;
+        self.stats.stuff_bits += wire.stuff_bits as u64;
         let d = self.wire_duration(bits);
         self.stats.busy_time += d;
         self.now += d;
@@ -404,7 +427,7 @@ impl CanBus {
             at: self.now,
         });
         self.trace
-            .record(self.now, "bus.tx", format!("{frame} from {winner}"));
+            .record_with(self.now, "bus.tx", || format!("{frame} from {winner}"));
         Some(frame)
     }
 }
@@ -600,5 +623,59 @@ mod tests {
         bus.run_until_idle();
         assert!(bus.stats().stuff_bits > 0);
         assert_eq!(bus.trace().count("bus.tx"), 1);
+    }
+
+    #[test]
+    fn timing_matches_reference_encoder_lengths() {
+        // The bus now derives timing from codec::wire_info; the busy time
+        // and stuff-bit stats must equal what the reference encoder yields.
+        let (mut bus, a, _b) = two_node_bus();
+        let frames = [
+            CanFrame::data(CanId::standard(0x123).unwrap(), &[0xA5, 0x5A, 0x00]).unwrap(),
+            CanFrame::data(CanId::extended(0x1ABC_D123).unwrap(), &[0xFF; 8]).unwrap(),
+            CanFrame::remote(CanId::standard(0x7F).unwrap(), 4).unwrap(),
+        ];
+        let mut expect_bits = 0u64;
+        let mut expect_stuff = 0u64;
+        for f in &frames {
+            let enc = codec::encode(f, true);
+            expect_bits += enc.len() as u64 + 3; // + IFS
+            expect_stuff += enc.stuff_bits() as u64;
+            bus.send_from(a, f.clone()).unwrap();
+        }
+        bus.run_until_idle();
+        assert_eq!(bus.stats().bits_on_wire, expect_bits);
+        assert_eq!(bus.stats().stuff_bits, expect_stuff);
+    }
+
+    #[test]
+    fn full_trace_skips_formatting_but_keeps_counting() {
+        // Satellite regression: bus.tx/bus.abandon details used to be
+        // format!-ed unconditionally; with the lazy API a full trace only
+        // bumps the dropped counter.
+        let (mut bus, a, _b) = two_node_bus();
+        *bus.trace_mut() = polsec_sim::Trace::with_capacity(1);
+        bus.send_from(a, frame(0x100, 1)).unwrap();
+        bus.send_from(a, frame(0x101, 2)).unwrap();
+        bus.send_from(a, frame(0x102, 3)).unwrap();
+        bus.run_until_idle();
+        assert_eq!(bus.stats().frames_transmitted, 3);
+        assert_eq!(bus.trace().len(), 1, "only the first record is retained");
+        assert_eq!(bus.trace().dropped(), 2);
+        assert_eq!(bus.trace().offered(), 3);
+    }
+
+    #[test]
+    fn trace_sampling_is_configurable_via_trace_mut() {
+        let (mut bus, a, _b) = two_node_bus();
+        bus.trace_mut().set_sampling(2, 7);
+        for i in 0..40 {
+            bus.send_from(a, frame(0x100 + i, i as u8)).unwrap();
+            bus.run_until_idle();
+        }
+        let kept = bus.trace().count("bus.tx");
+        assert!(kept < 40, "sampling must discard some records");
+        assert!(kept > 0, "sampling must keep some records");
+        assert_eq!(kept as u64 + bus.trace().sampled_out(), 40);
     }
 }

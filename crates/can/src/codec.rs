@@ -12,12 +12,28 @@
 //! Bit stuffing covers SOF through the CRC sequence; the CRC is computed over
 //! the *unstuffed* bits of the same region. Dominant = `false` (0),
 //! recessive = `true` (1).
+//!
+//! Two parallel implementations coexist deliberately:
+//!
+//! * [`encode`]/[`decode`] over `Vec<bool>` — the reference codec, kept
+//!   simple and unchanged so equivalence tests have a fixed point;
+//! * [`encode_into`]/[`decode_packed`]/[`wire_info`] over [`PackedBits`] —
+//!   the hot path: region built on the stack, word-level stuffing, table
+//!   CRC, reusable [`EncodeBuf`], zero steady-state allocations. The bus
+//!   derives frame timing from [`wire_info`] without materialising bits at
+//!   all.
 
-use crate::bits::{stuff, BitReader, BitWriter};
-use crate::crc::crc15;
+use crate::bits::{
+    stuff, stuff_count_words, stuff_words_into, BitReader, BitWriter, PackedBits, PackedReader,
+};
+use crate::crc::{crc15, crc15_words, Crc15};
 use crate::error::ProtocolViolation;
 use crate::frame::CanFrame;
 use crate::id::CanId;
+
+/// Wire bits after the stuffed region: CRC delimiter, ACK slot, ACK
+/// delimiter and the 7-bit EOF.
+const TAIL_BITS: usize = 10;
 
 /// Encodes the stuffed region (SOF..CRC) *before* stuffing.
 fn encode_stuffed_region(frame: &CanFrame) -> Vec<bool> {
@@ -103,6 +119,220 @@ pub fn encode(frame: &CanFrame, acked: bool) -> EncodedFrame {
     bits.push(true); // ACK delimiter
     bits.extend(std::iter::repeat_n(true, 7)); // EOF
     EncodedFrame { bits, stuff_bits }
+}
+
+/// The unstuffed SOF..CRC region of one frame on the stack: at most 118 bits
+/// (extended id, 8 data bytes, 15-bit CRC), so two words always suffice and
+/// building it allocates nothing.
+struct RegionWords {
+    words: [u64; 2],
+    len: usize,
+}
+
+impl RegionWords {
+    fn new() -> Self {
+        RegionWords { words: [0; 2], len: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, bit: bool) {
+        self.push_bits(u64::from(bit), 1);
+    }
+
+    /// Appends the lowest `n` bits of `value`, most significant first
+    /// (the [`PackedBits`] layout, on a fixed two-word array).
+    #[inline]
+    fn push_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64 && self.len + n as usize <= 128);
+        if n == 0 {
+            return;
+        }
+        let v = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let top = v << (64 - n);
+        let idx = self.len >> 6;
+        let off = (self.len & 63) as u32;
+        self.words[idx] |= top >> off;
+        if off > 0 && n > 64 - off {
+            self.words[idx + 1] |= top << (64 - off);
+        }
+        self.len += n as usize;
+    }
+}
+
+/// Builds the unstuffed SOF..CRC region (CRC included) entirely in
+/// registers/stack — the shared front half of [`encode_into`] and
+/// [`wire_info`].
+fn encode_region_words(frame: &CanFrame) -> RegionWords {
+    let mut w = RegionWords::new();
+    w.push(false); // SOF, dominant
+    match frame.id() {
+        CanId::Standard(id) => {
+            w.push_bits(u64::from(id), 11);
+            w.push(frame.is_remote()); // RTR
+            w.push(false); // IDE = 0 (standard)
+            w.push(false); // r0
+        }
+        CanId::Extended(id) => {
+            w.push_bits(u64::from(id >> 18), 11); // base id
+            w.push(true); // SRR, recessive
+            w.push(true); // IDE = 1 (extended)
+            w.push_bits(u64::from(id & 0x3_FFFF), 18); // id extension
+            w.push(frame.is_remote()); // RTR
+            w.push(false); // r1
+            w.push(false); // r0
+        }
+    }
+    w.push_bits(u64::from(frame.dlc()), 4);
+    let payload = frame.payload();
+    // data field: whole bytes, pushed as one value per 64-bit chunk
+    let mut chunk: u64 = 0;
+    let mut chunk_bits: u32 = 0;
+    for &b in payload {
+        chunk = (chunk << 8) | u64::from(b);
+        chunk_bits += 8;
+    }
+    if chunk_bits > 0 {
+        w.push_bits(chunk, chunk_bits);
+    }
+    let crc = crc15_words(&w.words, w.len);
+    w.push_bits(u64::from(crc), 15);
+    w
+}
+
+/// The exact stuffed wire length and stuff-bit count of a frame, computed
+/// without materialising a single wire bit. [`CanBus`](crate::CanBus) timing
+/// runs on this: no listener in the simulator consumes payload bits off the
+/// wire (frames are delivered as structs), so the bus only ever needs the
+/// lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireInfo {
+    /// Total length on the wire in bits (excluding interframe space) —
+    /// identical to [`EncodedFrame::len`].
+    pub wire_bits: usize,
+    /// Stuff bits inserted — identical to [`EncodedFrame::stuff_bits`].
+    pub stuff_bits: usize,
+}
+
+/// Computes [`WireInfo`] for a frame on the stack, allocation-free.
+pub fn wire_info(frame: &CanFrame) -> WireInfo {
+    let region = encode_region_words(frame);
+    let stuff_bits = stuff_count_words(&region.words, region.len);
+    WireInfo {
+        wire_bits: region.len + stuff_bits + TAIL_BITS,
+        stuff_bits,
+    }
+}
+
+/// The exact stuffed wire length of `frame` in bits (excluding interframe
+/// space), without materialising bits.
+pub fn wire_len(frame: &CanFrame) -> usize {
+    wire_info(frame).wire_bits
+}
+
+/// A small direct-mapped memo of [`wire_info`] results keyed by
+/// [`CanFrame::content_key`]. Simulated traffic is dominated by periodic
+/// broadcasts whose content repeats tick after tick, so the bus answers most
+/// timing queries with two word compares instead of a stuffing scan.
+/// `wire_info` is a pure function of the frame, so the cache is invisible to
+/// determinism — it changes when, not what, the bus computes.
+#[derive(Debug, Clone)]
+pub struct WireInfoCache {
+    // (key0, key1, info); key0 == u64::MAX marks an empty slot (no frame
+    // produces it: id/flags/dlc occupy fewer than 40 bits).
+    entries: Box<[(u64, u64, WireInfo)]>,
+}
+
+impl WireInfoCache {
+    const SLOTS: usize = 64;
+    const EMPTY: u64 = u64::MAX;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        WireInfoCache {
+            entries: vec![(Self::EMPTY, 0, WireInfo { wire_bits: 0, stuff_bits: 0 }); Self::SLOTS]
+                .into_boxed_slice(),
+        }
+    }
+
+    /// [`wire_info`], memoised.
+    pub fn lookup(&mut self, frame: &CanFrame) -> WireInfo {
+        let (k0, k1) = frame.content_key();
+        // splitmix64-style finaliser spreads the key across slots
+        let mut h = k0 ^ k1.rotate_left(32);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let slot = (h >> 58) as usize & (Self::SLOTS - 1);
+        let e = &mut self.entries[slot];
+        if e.0 == k0 && e.1 == k1 {
+            return e.2;
+        }
+        let info = wire_info(frame);
+        *e = (k0, k1, info);
+        info
+    }
+}
+
+impl Default for WireInfoCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A reusable encode buffer. [`encode_into`] clears and refills it, so after
+/// the first use (which sizes the backing vector) the steady-state encode
+/// path performs **zero heap allocations** — asserted by the counting
+/// allocator in `polsec-bench`'s `codec` binary.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeBuf {
+    wire: PackedBits,
+    stuff_bits: usize,
+}
+
+impl EncodeBuf {
+    /// Creates an empty buffer (sized lazily by the first encode).
+    pub fn new() -> Self {
+        EncodeBuf {
+            // max frame: 118-bit region + ≤29 stuff bits + 10 tail < 192
+            wire: PackedBits::with_capacity(192),
+            stuff_bits: 0,
+        }
+    }
+
+    /// The packed wire bits of the last encoded frame.
+    pub fn wire(&self) -> &PackedBits {
+        &self.wire
+    }
+
+    /// Mutable wire bits (corruption tests flip bits here).
+    pub fn wire_mut(&mut self) -> &mut PackedBits {
+        &mut self.wire
+    }
+
+    /// Stuff bits inserted by the last encode.
+    pub fn stuff_bits(&self) -> usize {
+        self.stuff_bits
+    }
+}
+
+/// Encodes a frame into `buf` (packed, reusable, allocation-free once the
+/// buffer is warm). Produces exactly the bit sequence of [`encode`].
+///
+/// # Example
+/// ```
+/// use polsec_can::{codec, CanFrame, CanId};
+/// let f = CanFrame::data(CanId::standard(0x100)?, &[1, 2])?;
+/// let mut buf = codec::EncodeBuf::new();
+/// codec::encode_into(&f, true, &mut buf);
+/// assert_eq!(codec::decode_packed(buf.wire())?, f);
+/// assert_eq!(buf.wire().len(), codec::wire_len(&f));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode_into(frame: &CanFrame, acked: bool, buf: &mut EncodeBuf) {
+    let region = encode_region_words(frame);
+    buf.wire.clear();
+    buf.stuff_bits = stuff_words_into(&region.words, region.len, &mut buf.wire);
+    // CRC delimiter (1), ACK slot, ACK delimiter (1), EOF (7×1)
+    let tail = 0b10_1111_1111u64 | (u64::from(!acked) << 8);
+    buf.wire.push_bits(tail, TAIL_BITS as u32);
 }
 
 /// A reader over stuffed bits that transparently removes stuff bits and
@@ -223,6 +453,150 @@ pub fn decode(bits: &[bool]) -> Result<CanFrame, ProtocolViolation> {
     let crc_region_len = r.unstuffed().len();
     let received_crc = r.read_bits(15)? as u16;
     let computed = crc15(&r.unstuffed()[..crc_region_len]);
+    if received_crc != computed {
+        return Err(ProtocolViolation::Crc);
+    }
+
+    // Fixed-form tail is read raw (no stuffing).
+    let mut raw = r.into_inner();
+    let crc_del = raw.read()?;
+    if !crc_del {
+        return Err(ProtocolViolation::Form);
+    }
+    let _ack_slot = raw.read()?; // either level is legal at the decoder
+    let ack_del = raw.read()?;
+    if !ack_del {
+        return Err(ProtocolViolation::Form);
+    }
+    for _ in 0..7 {
+        if !raw.read()? {
+            return Err(ProtocolViolation::Form); // EOF must be recessive
+        }
+    }
+
+    let frame = if remote {
+        CanFrame::remote(id, dlc).map_err(|_| ProtocolViolation::Form)?
+    } else {
+        CanFrame::data(id, &data[..dlc as usize]).map_err(|_| ProtocolViolation::Form)?
+    };
+    Ok(frame)
+}
+
+/// [`DestuffingReader`]'s packed twin: removes and validates stuff bits over
+/// a [`PackedReader`] while feeding every destuffed bit to an incremental
+/// CRC — no per-bit buffer, so decoding allocates nothing.
+struct PackedDestuffReader<'a> {
+    inner: PackedReader<'a>,
+    run_bit: Option<bool>,
+    run_len: u32,
+    crc: Crc15,
+}
+
+impl<'a> PackedDestuffReader<'a> {
+    fn new(inner: PackedReader<'a>) -> Self {
+        PackedDestuffReader {
+            inner,
+            run_bit: None,
+            run_len: 0,
+            crc: Crc15::new(),
+        }
+    }
+
+    fn read(&mut self) -> Result<bool, ProtocolViolation> {
+        let b = self.inner.read()?;
+        if Some(b) == self.run_bit {
+            self.run_len += 1;
+        } else {
+            self.run_bit = Some(b);
+            self.run_len = 1;
+        }
+        if self.run_len > 5 {
+            return Err(ProtocolViolation::Stuff);
+        }
+        self.crc.push(b);
+        if self.run_len == 5 {
+            // consume and validate the stuff bit
+            let s = self.inner.read()?;
+            if s == b {
+                return Err(ProtocolViolation::Stuff);
+            }
+            self.run_bit = Some(s);
+            self.run_len = 1;
+        }
+        Ok(b)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u32, ProtocolViolation> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.read()?);
+        }
+        Ok(v)
+    }
+
+    /// CRC over the destuffed bits consumed so far.
+    fn crc_value(&self) -> u16 {
+        self.crc.value()
+    }
+
+    fn into_inner(self) -> PackedReader<'a> {
+        self.inner
+    }
+}
+
+/// Decodes packed wire bits back into a frame — the same validation ladder
+/// as [`decode`] (stuffing, CRC, fixed-form bits) over the packed
+/// representation, returning identical results (including error variants)
+/// for identical bit sequences.
+///
+/// # Errors
+/// As [`decode`].
+pub fn decode_packed(bits: &PackedBits) -> Result<CanFrame, ProtocolViolation> {
+    let mut r = PackedDestuffReader::new(PackedReader::new(bits));
+
+    let sof = r.read()?;
+    if sof {
+        return Err(ProtocolViolation::Form); // SOF must be dominant
+    }
+    let base_id = r.read_bits(11)?;
+    let bit12 = r.read()?; // RTR (standard) or SRR (extended)
+    let ide = r.read()?;
+    let (id, remote) = if ide {
+        // extended: bit12 was SRR (must be recessive)
+        if !bit12 {
+            return Err(ProtocolViolation::Form);
+        }
+        let ext = r.read_bits(18)?;
+        let rtr = r.read()?;
+        let _r1 = r.read()?;
+        let _r0 = r.read()?;
+        let raw = (base_id << 18) | ext;
+        (
+            CanId::extended(raw).map_err(|_| ProtocolViolation::Form)?,
+            rtr,
+        )
+    } else {
+        let _r0 = r.read()?;
+        (
+            CanId::standard(base_id).map_err(|_| ProtocolViolation::Form)?,
+            bit12,
+        )
+    };
+    let dlc = r.read_bits(4)? as u8;
+    if dlc > 8 {
+        return Err(ProtocolViolation::Form);
+    }
+    let mut data = [0u8; 8];
+    if !remote {
+        for slot in data.iter_mut().take(dlc as usize) {
+            *slot = r.read_bits(8)? as u8;
+        }
+    }
+
+    // CRC covers everything consumed so far (destuffed); snapshot the
+    // incremental register before the CRC field itself streams through it.
+    let computed = r.crc_value();
+    let received_crc = r.read_bits(15)? as u16;
     if received_crc != computed {
         return Err(ProtocolViolation::Crc);
     }
@@ -427,5 +801,116 @@ mod tests {
         let a = encode(&CanFrame::data(sid(0x10), &[1]).unwrap(), true);
         let b = encode(&CanFrame::data(sid(0x10), &[2]).unwrap(), true);
         assert_ne!(a.bits(), b.bits());
+    }
+
+    // ---- packed fast path vs the reference implementation ----
+
+    fn sample_frames() -> Vec<CanFrame> {
+        let mut out = Vec::new();
+        for dlc in 0..=8usize {
+            let payload: Vec<u8> = (0..dlc as u8).map(|i| i.wrapping_mul(37)).collect();
+            out.push(CanFrame::data(sid(0x2F1), &payload).unwrap());
+            out.push(CanFrame::data(eid(0x1ABC_D123), &payload).unwrap());
+            out.push(CanFrame::remote(sid(0x111), dlc as u8).unwrap());
+            out.push(CanFrame::remote(eid(0x0ABC_DEF0), dlc as u8).unwrap());
+        }
+        out.push(CanFrame::data(sid(0x000), &[0u8; 8]).unwrap()); // worst-case stuffing
+        out.push(CanFrame::data(sid(0x7FF), &[0xFF; 8]).unwrap());
+        out.push(CanFrame::data(eid(0x1FFF_FFFF), &[0xAA; 8]).unwrap());
+        out
+    }
+
+    #[test]
+    fn encode_into_matches_reference_bit_for_bit() {
+        let mut buf = EncodeBuf::new();
+        for frame in sample_frames() {
+            for acked in [true, false] {
+                let reference = encode(&frame, acked);
+                encode_into(&frame, acked, &mut buf);
+                assert_eq!(
+                    buf.wire().to_bools(),
+                    reference.bits(),
+                    "wire bits diverge for {frame} acked={acked}"
+                );
+                assert_eq!(buf.stuff_bits(), reference.stuff_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_info_matches_reference_lengths() {
+        for frame in sample_frames() {
+            let reference = encode(&frame, true);
+            let info = wire_info(&frame);
+            assert_eq!(info.wire_bits, reference.len(), "wire_bits for {frame}");
+            assert_eq!(info.stuff_bits, reference.stuff_bits(), "stuff_bits for {frame}");
+            assert_eq!(wire_len(&frame), reference.len());
+        }
+    }
+
+    #[test]
+    fn decode_packed_round_trips() {
+        let mut buf = EncodeBuf::new();
+        for frame in sample_frames() {
+            encode_into(&frame, true, &mut buf);
+            assert_eq!(decode_packed(buf.wire()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn decode_packed_agrees_with_reference_on_corrupted_streams() {
+        // Flip every single wire bit of a few frames: the packed decoder
+        // must return exactly the reference decoder's result — same frame or
+        // the same error variant.
+        for frame in [
+            CanFrame::data(sid(0x345), &[1, 2, 3, 4]).unwrap(),
+            CanFrame::data(eid(0x1ABC_D123), &[0xFF, 0x00]).unwrap(),
+            CanFrame::remote(sid(0x2A5), 5).unwrap(),
+        ] {
+            let reference = encode(&frame, true);
+            let mut packed = PackedBits::from_bools(reference.bits());
+            for i in 0..reference.len() {
+                let mut bools = reference.bits().to_vec();
+                bools[i] = !bools[i];
+                packed.set(i, bools[i]);
+                assert_eq!(
+                    decode_packed(&packed),
+                    decode(&bools),
+                    "decoder divergence with bit {i} flipped"
+                );
+                packed.set(i, !bools[i]); // restore
+            }
+        }
+    }
+
+    #[test]
+    fn decode_packed_detects_truncation() {
+        let frame = CanFrame::data(sid(0x77), &[5; 2]).unwrap();
+        let mut buf = EncodeBuf::new();
+        encode_into(&frame, true, &mut buf);
+        let bools = buf.wire().to_bools();
+        for cut in [1usize, 10, 20, bools.len() - 1] {
+            let partial = PackedBits::from_bools(&bools[..cut]);
+            assert!(
+                matches!(
+                    decode_packed(&partial),
+                    Err(PV::Truncated) | Err(PV::Form)
+                ),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_buf_is_reusable_across_frame_shapes() {
+        // A big frame then a small one: stale bits from the first encode
+        // must not bleed into the second.
+        let mut buf = EncodeBuf::new();
+        let big = CanFrame::data(eid(0x1FFF_FFFF), &[0xFF; 8]).unwrap();
+        let small = CanFrame::data(sid(0x1), &[]).unwrap();
+        encode_into(&big, true, &mut buf);
+        encode_into(&small, false, &mut buf);
+        let reference = encode(&small, false);
+        assert_eq!(buf.wire().to_bools(), reference.bits());
     }
 }

@@ -115,11 +115,12 @@ impl CanController {
 
     /// Offers a received frame to the controller. The frame lands in the RX
     /// queue only if the acceptance filters match; returns whether it was
-    /// accepted.
+    /// accepted. The frame is cloned only on acceptance — filtered or
+    /// overrun frames cost nothing.
     ///
     /// A full RX queue drops the *new* frame (overrun), as real controllers
     /// do, and counts the overflow.
-    pub fn offer_rx(&mut self, frame: CanFrame) -> bool {
+    pub fn offer_rx(&mut self, frame: &CanFrame) -> bool {
         if !self.filters.accepts(frame.id()) {
             self.rx_filtered += 1;
             return false;
@@ -128,7 +129,7 @@ impl CanController {
             self.rx_overflowed += 1;
             return false;
         }
-        self.rx.push_back(frame);
+        self.rx.push_back(frame.clone());
         true
     }
 
@@ -254,8 +255,8 @@ mod tests {
     fn rx_respects_filters() {
         let mut c = CanController::new();
         c.filters_mut().add(AcceptanceFilter::exact(CanId::standard(0x10).unwrap()));
-        assert!(c.offer_rx(frame(0x10)));
-        assert!(!c.offer_rx(frame(0x11)));
+        assert!(c.offer_rx(&frame(0x10)));
+        assert!(!c.offer_rx(&frame(0x11)));
         assert_eq!(c.rx_pending(), 1);
         assert_eq!(c.rx_filtered(), 1);
     }
@@ -264,9 +265,9 @@ mod tests {
     fn rx_overrun_drops_new_frame() {
         let mut c = CanController::new();
         for _ in 0..DEFAULT_RX_CAPACITY {
-            assert!(c.offer_rx(frame(0x7)));
+            assert!(c.offer_rx(&frame(0x7)));
         }
-        assert!(!c.offer_rx(frame(0x7)));
+        assert!(!c.offer_rx(&frame(0x7)));
         assert_eq!(c.rx_overflowed(), 1);
         assert_eq!(c.rx_pending(), DEFAULT_RX_CAPACITY);
     }
@@ -276,8 +277,8 @@ mod tests {
         let mut c = CanController::new();
         let a = CanFrame::data(CanId::standard(1).unwrap(), &[1]).unwrap();
         let b = CanFrame::data(CanId::standard(2).unwrap(), &[2]).unwrap();
-        c.offer_rx(a.clone());
-        c.offer_rx(b.clone());
+        c.offer_rx(&a);
+        c.offer_rx(&b);
         assert_eq!(c.pop_rx(), Some(a));
         assert_eq!(c.pop_rx(), Some(b));
         assert_eq!(c.pop_rx(), None);
@@ -288,9 +289,9 @@ mod tests {
         // the compromise path: filters configured, then wiped
         let mut c = CanController::new();
         c.filters_mut().add(AcceptanceFilter::exact(CanId::standard(0x10).unwrap()));
-        assert!(!c.offer_rx(frame(0x99)));
+        assert!(!c.offer_rx(&frame(0x99)));
         c.filters_mut().clear();
-        assert!(c.offer_rx(frame(0x99)));
+        assert!(c.offer_rx(&frame(0x99)));
     }
 
     #[test]

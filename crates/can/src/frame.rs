@@ -93,6 +93,20 @@ impl CanFrame {
         CanFrame { id, ..self.clone() }
     }
 
+    /// A two-word fingerprint that uniquely identifies the frame's wire
+    /// content: identifier (with width flag), RTR flag, DLC, and payload.
+    /// Two frames have equal keys iff they encode to identical wire bits
+    /// (modulo the ACK slot) — the invariant the codec's wire-length cache
+    /// relies on. Bytes beyond the DLC are zero by construction, so the raw
+    /// data word is canonical.
+    pub fn content_key(&self) -> (u64, u64) {
+        let w0 = u64::from(self.id.raw())
+            | (u64::from(self.id.is_extended()) << 30)
+            | (u64::from(self.remote) << 31)
+            | (u64::from(self.dlc) << 32);
+        (w0, u64::from_le_bytes(self.data))
+    }
+
     /// The nominal (unstuffed) length of this frame on the wire in bits,
     /// including SOF, arbitration, control, data, CRC, ACK, EOF and the
     /// 3-bit interframe space.

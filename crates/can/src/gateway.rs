@@ -54,6 +54,9 @@ pub struct Gateway {
     rules: Vec<ForwardRule>,
     forwarded: u64,
     dropped: u64,
+    /// Reused across pumps so the steady-state forwarding path does not
+    /// allocate a fresh drain vector per direction per tick.
+    drain_buf: Vec<CanFrame>,
 }
 
 impl Gateway {
@@ -67,6 +70,7 @@ impl Gateway {
             rules: Vec::new(),
             forwarded: 0,
             dropped: 0,
+            drain_buf: Vec::new(),
         }
     }
 
@@ -137,17 +141,23 @@ impl Gateway {
             Segment::A => (self.node_a, self.node_b),
             Segment::B => (self.node_b, self.node_a),
         };
-        let mut drained = Vec::new();
+        let mut drained = std::mem::take(&mut self.drain_buf);
+        drained.clear();
         {
-            let node = src
-                .node_mut(src_handle)
-                .ok_or(CanError::UnknownNode { handle: src_handle.index() })?;
+            let node = match src.node_mut(src_handle) {
+                Some(n) => n,
+                None => {
+                    self.drain_buf = drained;
+                    return Err(CanError::UnknownNode { handle: src_handle.index() });
+                }
+            };
             while let Some(f) = node.receive() {
                 drained.push(f);
             }
         }
         let mut moved = 0;
-        for (i, f) in drained.iter().enumerate() {
+        for i in 0..drained.len() {
+            let f = &drained[i];
             if !self.matches(from, f) {
                 self.dropped += 1;
                 continue;
@@ -166,11 +176,13 @@ impl Gateway {
                 } else {
                     self.dropped += (drained.len() - i) as u64;
                 }
+                self.drain_buf = drained;
                 return Err(e);
             }
             self.forwarded += 1;
             moved += 1;
         }
+        self.drain_buf = drained;
         Ok(moved)
     }
 }

@@ -251,7 +251,7 @@ impl CanNode {
                 return false;
             }
         }
-        if !self.controller.offer_rx(frame.clone()) {
+        if !self.controller.offer_rx(frame) {
             return false;
         }
         // Firmware consumes the frame immediately in this model (the RX

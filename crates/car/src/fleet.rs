@@ -78,6 +78,13 @@ const CROSS_A_TO_B: [u16; 5] = [
 /// diagnostics only).
 const CROSS_B_TO_A: [u16; 1] = [messages::DIAG_REQUEST];
 
+/// Fleet bus traces keep one record in this many (DESIGN.md §8): enough to
+/// spot-check a run, cheap enough to vanish from the per-frame profile. The
+/// sampler is seeded from `(seed, vehicle, segment)` *arithmetically* — no
+/// draw from the vehicle's RNG stream — so enabling or tuning sampling can
+/// never perturb jitter, attack profiles or any deterministic metric.
+const TRACE_SAMPLE_EVERY: u64 = 256;
+
 /// Identifiers no node legitimately transmits — any frame carrying one is
 /// attack traffic, which makes leak accounting unambiguous.
 const ATTACK_IDS: [u16; 4] = [
@@ -265,6 +272,9 @@ pub struct Vehicle {
     inject_seq: u32,
     frames_quota: u64,
     metrics: MetricSet,
+    /// Reused across ticks by [`Vehicle::observe_bus_events`] so the event
+    /// accounting loop allocates nothing once warm.
+    event_buf: Vec<BusEvent>,
 }
 
 impl std::fmt::Debug for Vehicle {
@@ -354,6 +364,15 @@ impl Vehicle {
         let mut rng = DetRng::stream(cfg.seed, index as u64);
         let mut powertrain = CanBus::new(500_000);
         let mut comfort = CanBus::new(500_000);
+        // Deterministic 1-in-N trace sampling per segment; the detail
+        // strings of surviving records are still built lazily by the bus.
+        let trace_seed = cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        powertrain
+            .trace_mut()
+            .set_sampling(TRACE_SAMPLE_EVERY, trace_seed);
+        comfort
+            .trace_mut()
+            .set_sampling(TRACE_SAMPLE_EVERY, trace_seed ^ 1);
 
         let (ecu_fw, ecu) = ecu_firmware(None);
         let (eps_fw, eps) = eps_firmware(None);
@@ -519,6 +538,7 @@ impl Vehicle {
             inject_seq: 0,
             frames_quota: cfg.frames_per_vehicle,
             metrics,
+            event_buf: Vec::new(),
         }
     }
 
@@ -614,11 +634,15 @@ impl Vehicle {
     fn observe_bus_events(&mut self) {
         let ep_a = self.gateway.endpoint_a();
         let ep_b = self.gateway.endpoint_b();
-        for (events, endpoint, victim_segment) in [
-            (self.powertrain.drain_events(), ep_a, true),
-            (self.comfort.drain_events(), ep_b, false),
-        ] {
-            for event in events {
+        // One persistent buffer, swapped with each bus in turn: the whole
+        // accounting pass is allocation-free once the buffers are warm.
+        let mut events = std::mem::take(&mut self.event_buf);
+        for (segment, endpoint, victim_segment) in [(0, ep_a, true), (1, ep_b, false)] {
+            match segment {
+                0 => self.powertrain.drain_events_into(&mut events),
+                _ => self.comfort.drain_events_into(&mut events),
+            }
+            for event in &events {
                 let BusEvent::Transmitted { from, frame, .. } = event else {
                     continue;
                 };
@@ -631,15 +655,16 @@ impl Vehicle {
                         self.metrics.count("attack.victim_wire", 1);
                     }
                 }
-                if from == endpoint {
+                if *from == endpoint {
                     self.metrics.count("gateway.crossed", 1);
                     if attack {
                         self.metrics.count("attack.crossed_gateway", 1);
                     }
-                    self.check_crossing(&frame, victim_segment);
+                    self.check_crossing(frame, victim_segment);
                 }
             }
         }
+        self.event_buf = events;
     }
 
     /// The fleet-level policy check: every command frame crossing a gateway

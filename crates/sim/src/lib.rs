@@ -13,7 +13,8 @@
 //! * [`shard`] — a deterministic sharded runner that fans independent
 //!   simulations over a thread pool and merges their [`MetricSet`]s in
 //!   shard order,
-//! * [`trace`] — a bounded in-memory trace of simulation records.
+//! * [`trace`] — a bounded in-memory trace of simulation records with
+//!   lazily-built details and deterministic 1-in-N sampling.
 //!
 //! # Example
 //!

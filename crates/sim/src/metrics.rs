@@ -163,16 +163,27 @@ impl MetricSet {
     }
 
     /// Adds `n` to the named counter, creating it at zero if absent.
+    /// The name is only turned into an owned `String` on first touch, so
+    /// steady-state counting never allocates.
     pub fn count(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
     }
 
-    /// Records a histogram observation under `name`.
+    /// Records a histogram observation under `name`. As with
+    /// [`MetricSet::count`], the name is owned only on first touch.
     pub fn observe(&mut self, name: &str, v: u64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(v);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(v);
+        } else {
+            self.histograms
+                .entry(name.to_string())
+                .or_default()
+                .record(v);
+        }
     }
 
     /// Reads a counter (0 if never touched).

@@ -33,7 +33,7 @@ impl fmt::Debug for DetRng {
 /// The splitmix64 finalising mix: a bijection on `u64` with strong
 /// avalanche, used to turn raw seeds into well-distributed generator
 /// states.
-const fn splitmix64_mix(seed: u64) -> u64 {
+pub(crate) const fn splitmix64_mix(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
