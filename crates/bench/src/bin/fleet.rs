@@ -20,12 +20,43 @@
 //! The process exits non-zero if the replay is not byte-identical or if the
 //! baseline policy leaked any attack frame.
 //!
-//! Usage: `fleet [vehicles] [frames_total] [threads] [seed] [min_fps]`
-//! (defaults 100, 1_000_000, auto, 42, 0). A non-zero `min_fps` turns the
-//! run into a perf gate: the process exits non-zero if the measured
-//! `frames_per_sec` falls below it (CI uses 1.5× the PR 2 seed throughput).
+//! Usage: `fleet [vehicles] [frames_total] [threads] [seed] [min_fps]
+//! [max_allocs_per_frame]` (defaults 100, 1_000_000, auto, 42, 0, 0). A
+//! non-zero `min_fps` turns the run into a perf gate: the process exits
+//! non-zero if the measured `frames_per_sec` falls below it (CI uses 1.5×
+//! the PR 2 seed throughput). A non-zero `max_allocs_per_frame` gates the
+//! counting-allocator ratio for the whole second run (the inline
+//! `ActionVec` firmware API keeps the steady-state frame path
+//! allocation-free, so the ratio is dominated by per-vehicle setup).
 
 use polsec_car::fleet::{run_fleet, FleetConfig, FleetReport};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// plain atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn run(cfg: &FleetConfig) -> (FleetReport, String) {
     let mut report = run_fleet(cfg);
@@ -40,6 +71,7 @@ fn main() {
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
     let min_fps: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.0);
+    let max_allocs_per_frame: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.0);
 
     let frames_per_vehicle = (frames_total / vehicles.max(1) as u64).max(1);
     let mut cfg = FleetConfig::new(vehicles, frames_per_vehicle);
@@ -57,7 +89,9 @@ fn main() {
         first.frames(),
         first.elapsed_sec
     );
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let (mut second, second_json) = run(&cfg);
+    let run_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     eprintln!(
         "run 2: {} frames in {:.2}s",
         second.frames(),
@@ -73,6 +107,12 @@ fn main() {
     let injected = second.metrics.counter("attack.injected");
     let blocked = injected.saturating_sub(leaked_frames);
     let frames_per_sec = frames as f64 / second.elapsed_sec.max(1e-9);
+    // Whole-run allocation accounting (vehicle construction, simulation,
+    // merge and JSON render) divided by frames carried: the inline
+    // ActionVec firmware API keeps the steady-state frame path
+    // allocation-free, so this ratio is dominated by per-vehicle setup.
+    let allocs_per_frame = run_allocs as f64 / frames.max(1) as f64;
+    eprintln!("allocations: {run_allocs} over {frames} frames ({allocs_per_frame:.4}/frame)");
 
     let wall_json = second.wall.to_json();
     let summary = format!(
@@ -81,6 +121,7 @@ fn main() {
             "\"seed\":{},\"enforcement\":\"{}\",\"deterministic_replay\":{},",
             "\"frames\":{},\"frames_per_sec\":{:.0},\"elapsed_sec\":{:.3},",
             "\"attack_injected\":{},\"attack_blocked\":{},\"attack_leaked\":{},",
+            "\"allocs_per_frame\":{:.4},",
             "\"metrics\":{},\"wall\":{}}}"
         ),
         vehicles,
@@ -94,6 +135,7 @@ fn main() {
         injected,
         blocked,
         leaked,
+        allocs_per_frame,
         second_json,
         wall_json,
     );
@@ -123,6 +165,12 @@ fn main() {
     if min_fps > 0.0 && frames_per_sec < min_fps {
         eprintln!(
             "FAIL: throughput {frames_per_sec:.0} frames/s below the floor {min_fps:.0}"
+        );
+        failed = true;
+    }
+    if max_allocs_per_frame > 0.0 && allocs_per_frame > max_allocs_per_frame {
+        eprintln!(
+            "FAIL: {allocs_per_frame:.4} allocations/frame above the gate {max_allocs_per_frame}"
         );
         failed = true;
     }

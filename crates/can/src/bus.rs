@@ -577,11 +577,11 @@ mod tests {
     fn firmware_chatter_terminates_via_round_bound() {
         // Echo firmware answering every frame with the same id would loop
         // forever; the round bound must stop it.
-        use crate::node::{Firmware, FirmwareAction};
+        use crate::node::{ActionVec, Firmware, FirmwareAction};
         struct Chatter;
         impl Firmware for Chatter {
-            fn on_frame(&mut self, _n: SimTime, f: &CanFrame) -> Vec<FirmwareAction> {
-                vec![FirmwareAction::Send(f.clone())]
+            fn on_frame(&mut self, _n: SimTime, f: &CanFrame) -> ActionVec {
+                ActionVec::one(FirmwareAction::Send(f.clone()))
             }
         }
         let mut bus = CanBus::new(1_000_000);

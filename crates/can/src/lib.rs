@@ -64,7 +64,7 @@ pub mod node;
 pub mod stats;
 
 pub use bits::{PackedBits, PackedReader};
-pub use bus::{BusEvent, CanBus, NodeHandle};
+pub use bus::{BusEvent, CanBus, ErrorModel, NodeHandle};
 pub use codec::{EncodeBuf, WireInfo};
 pub use controller::CanController;
 pub use error::{CanError, ProtocolViolation};
@@ -73,5 +73,5 @@ pub use filter::{AcceptanceFilter, FilterBank};
 pub use frame::CanFrame;
 pub use gateway::{ForwardRule, Gateway};
 pub use id::CanId;
-pub use node::{CanNode, Firmware, FirmwareAction};
+pub use node::{ActionVec, CanNode, Firmware, FirmwareAction};
 pub use stats::BusStats;

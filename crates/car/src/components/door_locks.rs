@@ -7,7 +7,7 @@
 
 use super::{lock, shared, AppPolicy, Shared};
 use crate::messages::{self, parse_command};
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
@@ -58,19 +58,19 @@ pub fn door_locks_firmware(
 }
 
 impl Firmware for DoorLockFirmware {
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec {
         match frame.id().raw() as u16 {
             messages::DOOR_LOCK_COMMAND => {
                 let Some((cmd, origin)) = parse_command(frame) else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 if let Some(p) = &self.policy {
                     p.observe_rate("door-lock-cmd", now);
                     if !p.permits(origin, "door-locks", Action::Write, now) {
                         lock(&self.state).rejected_commands += 1;
-                        return vec![FirmwareAction::Log(format!(
+                        return ActionVec::one(FirmwareAction::Log(format!(
                             "door-locks: rejected command {cmd:#04x} from {origin}"
-                        ))];
+                        )));
                     }
                 }
                 let mut s = lock(&self.state);
@@ -85,7 +85,7 @@ impl Firmware for DoorLockFirmware {
                     }
                     _ => {}
                 }
-                Vec::new()
+                ActionVec::new()
             }
             messages::SAFETY_EVENT => {
                 // Hardwired: a crash unlocks the doors for rescue.
@@ -94,17 +94,17 @@ impl Firmware for DoorLockFirmware {
                     s.locked = false;
                     s.crash_unlocks += 1;
                 }
-                Vec::new()
+                ActionVec::new()
             }
-            _ => Vec::new(),
+            _ => ActionVec::new(),
         }
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let locked = lock(&self.state).locked;
         match CanFrame::data(CanId::Standard(messages::DOOR_LOCK_STATUS), &[u8::from(locked)]) {
-            Ok(f) => vec![FirmwareAction::Send(f)],
-            Err(_) => Vec::new(),
+            Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+            Err(_) => ActionVec::new(),
         }
     }
 

@@ -7,7 +7,7 @@
 
 use super::{lock, policy_permits, shared, AppPolicy, Shared};
 use crate::messages::{self, parse_command};
-use polsec_can::{CanFrame, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
@@ -22,6 +22,13 @@ pub struct EcuState {
     pub rejected_commands: u32,
     /// Crash reports acted on.
     pub crash_reactions: u32,
+    /// Platoon target speed from the last accepted V2X lead relay
+    /// (0 = not platooning).
+    pub platoon_speed: u8,
+    /// Whether the platoon lead currently reports braking.
+    pub platoon_braking: bool,
+    /// V2X lead relays consumed.
+    pub platoon_msgs: u32,
 }
 
 impl Default for EcuState {
@@ -31,6 +38,9 @@ impl Default for EcuState {
             disable_events: 0,
             rejected_commands: 0,
             crash_reactions: 0,
+            platoon_speed: 0,
+            platoon_braking: false,
+            platoon_msgs: 0,
         }
     }
 }
@@ -53,21 +63,21 @@ pub fn ecu_firmware(policy: Option<AppPolicy>) -> (Box<dyn Firmware>, Shared<Ecu
 }
 
 impl Firmware for EcuFirmware {
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec {
         let id = frame.id().raw() as u16;
         match id {
             messages::ECU_COMMAND => {
                 let Some((cmd, origin)) = parse_command(frame) else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 let allowed =
                     policy_permits(&self.policy, origin, "ev-ecu", Action::Write, now);
                 let mut s = lock(&self.state);
                 if !allowed {
                     s.rejected_commands += 1;
-                    return vec![FirmwareAction::Log(format!(
+                    return ActionVec::one(FirmwareAction::Log(format!(
                         "ecu: rejected command {cmd:#04x} from {origin}"
-                    ))];
+                    )));
                 }
                 match cmd {
                     0x01 => s.propulsion_enabled = true,
@@ -77,7 +87,7 @@ impl Firmware for EcuFirmware {
                     }
                     _ => {}
                 }
-                Vec::new()
+                ActionVec::new()
             }
             messages::SENSOR_CRASH => {
                 // Hardwired safety reaction: a crash report stops propulsion.
@@ -87,20 +97,33 @@ impl Firmware for EcuFirmware {
                     s.disable_events += 1;
                     s.crash_reactions += 1;
                 }
-                Vec::new()
+                ActionVec::new()
             }
-            _ => Vec::new(),
+            messages::V2X_LEAD => {
+                // Authenticated platoon relay from the telematics unit: the
+                // V2X layer already verified it (auth tag, replay window,
+                // per-vehicle policy) before it was allowed onto the bus.
+                let p = frame.payload();
+                if p.len() >= 2 {
+                    let mut s = lock(&self.state);
+                    s.platoon_speed = p[0];
+                    s.platoon_braking = p[1] != 0;
+                    s.platoon_msgs += 1;
+                }
+                ActionVec::new()
+            }
+            _ => ActionVec::new(),
         }
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let enabled = lock(&self.state).propulsion_enabled;
         match CanFrame::data(
             polsec_can::CanId::Standard(messages::ECU_STATUS),
             &[u8::from(enabled)],
         ) {
-            Ok(f) => vec![FirmwareAction::Send(f)],
-            Err(_) => Vec::new(),
+            Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+            Err(_) => ActionVec::new(),
         }
     }
 
@@ -209,6 +232,23 @@ mod tests {
             }
             other => panic!("unexpected action {other:?}"),
         }
+    }
+
+    #[test]
+    fn v2x_lead_relay_updates_platoon_state() {
+        let (mut fw, state) = ecu_firmware(None);
+        let f = CanFrame::data(polsec_can::CanId::Standard(messages::V2X_LEAD), &[72, 1, 3, 0])
+            .unwrap();
+        fw.on_frame(SimTime::ZERO, &f);
+        let s = lock(&state);
+        assert_eq!(s.platoon_speed, 72);
+        assert!(s.platoon_braking);
+        assert_eq!(s.platoon_msgs, 1);
+        drop(s);
+        // a short frame is ignored
+        let stub = CanFrame::data(polsec_can::CanId::Standard(messages::V2X_LEAD), &[9]).unwrap();
+        fw.on_frame(SimTime::ZERO, &stub);
+        assert_eq!(lock(&state).platoon_msgs, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use super::{lock, policy_permits, shared, AppPolicy, Shared};
 use crate::messages::{self, parse_command};
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
@@ -61,37 +61,37 @@ pub fn engine_firmware(policy: Option<AppPolicy>) -> (Box<dyn Firmware>, Shared<
 }
 
 impl Firmware for EngineFirmware {
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec {
         match frame.id().raw() as u16 {
             messages::SENSOR_TEMP => {
                 let Some(&temp) = frame.payload().first() else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 let mut s = lock(&self.state);
                 // Behavioural policy: only with the app policy installed is
                 // the plausibility window enforced.
                 if self.policy.is_some() && temp.abs_diff(s.last_temp) > MAX_PLAUSIBLE_DELTA {
                     s.implausible_readings += 1;
-                    return vec![FirmwareAction::Log(format!(
+                    return ActionVec::one(FirmwareAction::Log(format!(
                         "engine: implausible temp jump {} -> {temp}",
                         s.last_temp
-                    ))];
+                    )));
                 }
                 s.last_temp = temp;
                 if temp >= OVERHEAT_LIMIT && s.running {
                     s.running = false;
                     s.overheat_shutdowns += 1;
                 }
-                Vec::new()
+                ActionVec::new()
             }
             messages::ENGINE_COMMAND => {
                 let Some((cmd, origin)) = parse_command(frame) else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 if !policy_permits(&self.policy, origin, "engine", Action::Write, now) {
-                    return vec![FirmwareAction::Log(format!(
+                    return ActionVec::one(FirmwareAction::Log(format!(
                         "engine: rejected command {cmd:#04x} from {origin}"
-                    ))];
+                    )));
                 }
                 let mut s = lock(&self.state);
                 match cmd {
@@ -99,17 +99,17 @@ impl Firmware for EngineFirmware {
                     0x02 => s.running = false,
                     _ => {}
                 }
-                Vec::new()
+                ActionVec::new()
             }
-            _ => Vec::new(),
+            _ => ActionVec::new(),
         }
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let running = lock(&self.state).running;
         match CanFrame::data(CanId::Standard(messages::ENGINE_STATUS), &[u8::from(running)]) {
-            Ok(f) => vec![FirmwareAction::Send(f)],
-            Err(_) => Vec::new(),
+            Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+            Err(_) => ActionVec::new(),
         }
     }
 

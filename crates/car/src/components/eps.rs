@@ -6,7 +6,7 @@
 
 use super::{lock, policy_permits, shared, AppPolicy, Shared};
 use crate::messages::{self, parse_command};
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
@@ -46,18 +46,18 @@ pub fn eps_firmware(policy: Option<AppPolicy>) -> (Box<dyn Firmware>, Shared<Eps
 }
 
 impl Firmware for EpsFirmware {
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec {
         if frame.id().raw() as u16 != messages::EPS_COMMAND {
-            return Vec::new();
+            return ActionVec::new();
         }
         let Some((cmd, origin)) = parse_command(frame) else {
-            return Vec::new();
+            return ActionVec::new();
         };
         if !policy_permits(&self.policy, origin, "eps", Action::Write, now) {
             lock(&self.state).rejected_commands += 1;
-            return vec![FirmwareAction::Log(format!(
+            return ActionVec::one(FirmwareAction::Log(format!(
                 "eps: rejected command {cmd:#04x} from {origin}"
-            ))];
+            )));
         }
         let mut s = lock(&self.state);
         match cmd {
@@ -65,14 +65,14 @@ impl Firmware for EpsFirmware {
             0x02 => s.assist_enabled = false,
             _ => {}
         }
-        Vec::new()
+        ActionVec::new()
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let enabled = lock(&self.state).assist_enabled;
         match CanFrame::data(CanId::Standard(messages::EPS_STATUS), &[u8::from(enabled)]) {
-            Ok(f) => vec![FirmwareAction::Send(f)],
-            Err(_) => Vec::new(),
+            Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+            Err(_) => ActionVec::new(),
         }
     }
 

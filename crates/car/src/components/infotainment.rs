@@ -8,7 +8,7 @@
 
 use super::{lock, shared, AppPolicy, Shared};
 use crate::messages;
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_mac::{Enforcer, SecurityContext};
 use polsec_sim::SimTime;
 use std::sync::{Arc, Mutex};
@@ -85,11 +85,11 @@ pub fn mac_permits_can_send(mac: &Option<SharedEnforcer>, app_type: &str) -> boo
 }
 
 impl Firmware for InfotainmentFirmware {
-    fn on_frame(&mut self, _now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, _now: SimTime, frame: &CanFrame) -> ActionVec {
         match frame.id().raw() as u16 {
             messages::SENSOR_WHEEL_SPEED => {
                 let Some(&speed) = frame.payload().first() else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 let mut s = lock(&self.state);
                 if self.policy.is_some()
@@ -97,40 +97,40 @@ impl Firmware for InfotainmentFirmware {
                     && s.displayed_speed != 0
                 {
                     s.implausible_readings += 1;
-                    return vec![FirmwareAction::Log(format!(
+                    return ActionVec::one(FirmwareAction::Log(format!(
                         "infotainment: implausible speed {} -> {speed}",
                         s.displayed_speed
-                    ))];
+                    )));
                 }
                 s.displayed_speed = speed;
-                Vec::new()
+                ActionVec::new()
             }
             messages::ECU_STATUS => {
                 if let Some(&v) = frame.payload().first() {
                     lock(&self.state).shows_propulsion_enabled = v != 0;
                 }
-                Vec::new()
+                ActionVec::new()
             }
             messages::INFOTAINMENT_CMD => {
                 // app launch request from the head-unit UI: the MAC gate
                 // decides whether the app's domain may touch the bus at all
                 if !mac_permits_can_send(&self.mac, "mediaplayer_t") {
                     lock(&self.state).mac_denials += 1;
-                    return vec![FirmwareAction::Log(
+                    return ActionVec::one(FirmwareAction::Log(
                         "infotainment: app denied can access by mac".to_string(),
-                    )];
+                    ));
                 }
-                Vec::new()
+                ActionVec::new()
             }
-            _ => Vec::new(),
+            _ => ActionVec::new(),
         }
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let speed = lock(&self.state).displayed_speed;
         match CanFrame::data(CanId::Standard(messages::INFOTAINMENT_STATUS), &[speed]) {
-            Ok(f) => vec![FirmwareAction::Send(f)],
-            Err(_) => Vec::new(),
+            Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+            Err(_) => ActionVec::new(),
         }
     }
 

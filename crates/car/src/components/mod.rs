@@ -85,9 +85,26 @@ impl AppPolicy {
         self.engine.decide_at(&req, &ctx, now.as_micros()).is_allow()
     }
 
-    /// Notes an event for a rate-limited key.
+    /// Scopes this policy point's rate tracking (builder style): every
+    /// [`AppPolicy::observe_rate`] and every rate condition consulted by
+    /// [`AppPolicy::permits`] uses the engine's per-scope windows for
+    /// `scope` instead of the global ones. Fleet runs give each vehicle
+    /// its own scope so a shared engine's rate trackers cannot couple
+    /// concurrently-running vehicles.
+    pub fn with_rate_scope(self, scope: u64) -> Self {
+        lock(&self.ctx).set_rate_scope(Some(scope));
+        self
+    }
+
+    /// Notes an event for a rate-limited key (in this policy point's rate
+    /// scope, when one is set).
     pub fn observe_rate(&self, key: &str, now: SimTime) {
-        self.engine.observe_rate_event(key, now.as_micros());
+        match lock(&self.ctx).rate_scope() {
+            Some(scope) => self
+                .engine
+                .observe_rate_event_scoped(scope, key, now.as_micros()),
+            None => self.engine.observe_rate_event(key, now.as_micros()),
+        }
     }
 
     /// Sets a situational state variable (e.g. `crash = true`).
@@ -169,6 +186,32 @@ mod tests {
             Action::Configure,
             SimTime::ZERO
         ));
+    }
+
+    #[test]
+    fn rate_scopes_isolate_two_policy_points_on_one_engine() {
+        let policy = parse_policy(
+            r#"policy "t" version 1 {
+                allow write on asset:x from entry:manual when rate(unlock) <= 1;
+            }"#,
+        )
+        .unwrap();
+        let engine = Arc::new(PolicyEngine::from_policy(policy));
+        let a = AppPolicy::new(
+            Arc::clone(&engine),
+            shared(EvalContext::new().with_mode("normal")),
+        )
+        .with_rate_scope(0);
+        let b = AppPolicy::new(
+            Arc::clone(&engine),
+            shared(EvalContext::new().with_mode("normal")),
+        )
+        .with_rate_scope(1);
+        let t = SimTime::from_micros(10);
+        a.observe_rate("unlock", t);
+        a.observe_rate("unlock", t);
+        assert!(!a.permits(Origin::Manual, "x", Action::Write, t), "a over its limit");
+        assert!(b.permits(Origin::Manual, "x", Action::Write, t), "b unaffected");
     }
 
     #[test]

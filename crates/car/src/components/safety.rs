@@ -7,7 +7,7 @@
 
 use super::{lock, policy_permits, shared, AppPolicy, Shared};
 use crate::messages::{self, parse_command};
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
@@ -56,11 +56,11 @@ pub fn safety_firmware(policy: Option<AppPolicy>) -> (Box<dyn Firmware>, Shared<
 }
 
 impl Firmware for SafetyFirmware {
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec {
         match frame.id().raw() as u16 {
             messages::SENSOR_CRASH => {
                 if frame.payload().first().copied().unwrap_or(0) == 0 {
-                    return Vec::new();
+                    return ActionVec::new();
                 }
                 // Behavioural plausibility: with the app policy on, a crash
                 // while the vehicle is stationary and parked (row 15's false
@@ -69,9 +69,9 @@ impl Firmware for SafetyFirmware {
                     let moving = p.state("vehicle.moving").as_deref() == Some("true");
                     if !moving {
                         lock(&self.state).suppressed_reactions += 1;
-                        return vec![FirmwareAction::Log(
+                        return ActionVec::one(FirmwareAction::Log(
                             "safety: crash report while stationary suppressed".to_string(),
-                        )];
+                        ));
                     }
                     p.set_state("crash", "true");
                 }
@@ -79,7 +79,7 @@ impl Firmware for SafetyFirmware {
                 s.crash_detected = true;
                 s.failsafe_triggers += 1;
                 drop(s);
-                let mut out = Vec::new();
+                let mut out = ActionVec::new();
                 if let Ok(f) = CanFrame::data(CanId::Standard(messages::SAFETY_EVENT), &[1]) {
                     out.push(FirmwareAction::Send(f));
                 }
@@ -90,19 +90,19 @@ impl Firmware for SafetyFirmware {
             }
             messages::ALARM_CONTROL => {
                 let Some((cmd, origin)) = parse_command(frame) else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 if !policy_permits(&self.policy, origin, "safety-critical", Action::Write, now) {
                     lock(&self.state).rejected_commands += 1;
-                    return vec![FirmwareAction::Log(format!(
+                    return ActionVec::one(FirmwareAction::Log(format!(
                         "safety: rejected alarm control from {origin}"
-                    ))];
+                    )));
                 }
                 let mut s = lock(&self.state);
                 s.alarm_armed = cmd != 0x00;
-                Vec::new()
+                ActionVec::new()
             }
-            _ => Vec::new(),
+            _ => ActionVec::new(),
         }
     }
 

@@ -5,7 +5,7 @@
 
 use super::{lock, shared, Shared};
 use crate::messages;
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_sim::SimTime;
 
 /// Observable sensor-cluster state (what the real sensors measure).
@@ -46,11 +46,11 @@ pub fn sensors_firmware() -> (Box<dyn Firmware>, Shared<SensorState>) {
 }
 
 impl Firmware for SensorsFirmware {
-    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> Vec<FirmwareAction> {
-        Vec::new() // sensors only listen to mode changes, which need no action
+    fn on_frame(&mut self, _now: SimTime, _frame: &CanFrame) -> ActionVec {
+        ActionVec::new() // sensors only listen to mode changes, which need no action
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let mut s = lock(&self.state);
         s.broadcasts += 1;
         let readings = [

@@ -6,7 +6,7 @@
 
 use super::{lock, policy_permits, shared, AppPolicy, Shared};
 use crate::messages::{self, command_frame, parse_command, Origin};
-use polsec_can::{CanFrame, CanId, Firmware, FirmwareAction};
+use polsec_can::{ActionVec, CanFrame, CanId, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
@@ -60,25 +60,25 @@ pub fn telematics_firmware(
 }
 
 impl Firmware for TelematicsFirmware {
-    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> Vec<FirmwareAction> {
+    fn on_frame(&mut self, now: SimTime, frame: &CanFrame) -> ActionVec {
         match frame.id().raw() as u16 {
             messages::MODEM_CONTROL => {
                 let Some((cmd, origin)) = parse_command(frame) else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 if !policy_permits(&self.policy, origin, "3g-4g-wifi", Action::Configure, now) {
                     lock(&self.state).rejected_commands += 1;
-                    return vec![FirmwareAction::Log(format!(
+                    return ActionVec::one(FirmwareAction::Log(format!(
                         "telematics: rejected modem control from {origin}"
-                    ))];
+                    )));
                 }
                 let mut s = lock(&self.state);
                 s.modem_enabled = cmd != 0x00;
-                Vec::new()
+                ActionVec::new()
             }
             messages::TELEMATICS_CMD => {
                 let Some((cmd, origin)) = parse_command(frame) else {
-                    return Vec::new();
+                    return ActionVec::new();
                 };
                 match cmd {
                     // remote tracking request
@@ -89,35 +89,35 @@ impl Firmware for TelematicsFirmware {
                             lock(&self.state).track_reports += 1;
                             return send_one(messages::TELEMATICS_TRACK, &[0x01]);
                         }
-                        Vec::new()
+                        ActionVec::new()
                     }
                     // disable tracking (the theft scenario)
                     0x02 => {
                         if !policy_permits(&self.policy, origin, "3g-4g-wifi", Action::Write, now)
                         {
                             lock(&self.state).rejected_commands += 1;
-                            return vec![FirmwareAction::Log(
+                            return ActionVec::one(FirmwareAction::Log(
                                 "telematics: rejected tracking disable".to_string(),
-                            )];
+                            ));
                         }
                         lock(&self.state).tracking_enabled = false;
-                        Vec::new()
+                        ActionVec::new()
                     }
                     // fail-safe override: re-enable the vehicle remotely
                     0x03 => {
                         if !policy_permits(&self.policy, origin, "ev-ecu", Action::Write, now) {
                             lock(&self.state).rejected_commands += 1;
-                            return vec![FirmwareAction::Log(
+                            return ActionVec::one(FirmwareAction::Log(
                                 "telematics: rejected fail-safe override".to_string(),
-                            )];
+                            ));
                         }
                         lock(&self.state).failsafe_overrides += 1;
                         match command_frame(messages::ECU_COMMAND, 0x01, Origin::Telematics, &[]) {
-                            Ok(f) => vec![FirmwareAction::Send(f)],
-                            Err(_) => Vec::new(),
+                            Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+                            Err(_) => ActionVec::new(),
                         }
                     }
-                    _ => Vec::new(),
+                    _ => ActionVec::new(),
                 }
             }
             messages::SAFETY_EVENT => {
@@ -127,20 +127,20 @@ impl Firmware for TelematicsFirmware {
                     drop(s);
                     return send_one(messages::ECALL, &[0x01]);
                 }
-                Vec::new()
+                ActionVec::new()
             }
-            _ => Vec::new(),
+            _ => ActionVec::new(),
         }
     }
 
-    fn on_tick(&mut self, _now: SimTime) -> Vec<FirmwareAction> {
+    fn on_tick(&mut self, _now: SimTime) -> ActionVec {
         let mut s = lock(&self.state);
         if s.modem_enabled && s.tracking_enabled {
             s.track_reports += 1;
             drop(s);
             return send_one(messages::TELEMATICS_TRACK, &[0x00]);
         }
-        Vec::new()
+        ActionVec::new()
     }
 
     fn name(&self) -> &str {
@@ -148,10 +148,10 @@ impl Firmware for TelematicsFirmware {
     }
 }
 
-fn send_one(id: u16, payload: &[u8]) -> Vec<FirmwareAction> {
+fn send_one(id: u16, payload: &[u8]) -> ActionVec {
     match CanFrame::data(CanId::Standard(id), payload) {
-        Ok(f) => vec![FirmwareAction::Send(f)],
-        Err(_) => Vec::new(),
+        Ok(f) => ActionVec::one(FirmwareAction::Send(f)),
+        Err(_) => ActionVec::new(),
     }
 }
 

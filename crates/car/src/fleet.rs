@@ -34,7 +34,7 @@ use crate::attacks::SpoofFirmware;
 use crate::builder::CarStates;
 use crate::components::{
     door_locks_firmware, ecu_firmware, engine_firmware, eps_firmware, infotainment_firmware,
-    safety_firmware, sensors_firmware, telematics_firmware,
+    lock, safety_firmware, sensors_firmware, shared, telematics_firmware, AppPolicy,
 };
 use crate::messages::{
     self, command_frame, legitimate_reads, legitimate_writes, parse_command, Origin,
@@ -75,8 +75,9 @@ const CROSS_A_TO_B: [u16; 5] = [
 ];
 
 /// Identifiers legitimately crossing comfort → powertrain (remote
-/// diagnostics only).
-const CROSS_B_TO_A: [u16; 1] = [messages::DIAG_REQUEST];
+/// diagnostics, plus the authenticated V2X platoon relay the telematics
+/// unit re-broadcasts for the ECU).
+const CROSS_B_TO_A: [u16; 2] = [messages::DIAG_REQUEST, messages::V2X_LEAD];
 
 /// Fleet bus traces keep one record in this many (DESIGN.md §8): enough to
 /// spot-check a run, cheap enough to vanish from the per-frame profile. The
@@ -105,15 +106,30 @@ pub struct FleetEnforcement {
     /// A hardware policy engine on each gateway endpoint, gating what may
     /// enter or leave a segment regardless of the rule table.
     pub segment_hpe: bool,
+    /// The software layer: per-component [`AppPolicy`] checks against the
+    /// fleet-shared engine, with a **per-vehicle rate scope** so the
+    /// engine's rate trackers cannot couple concurrently-running vehicles.
+    pub app_policy: bool,
 }
 
 impl FleetEnforcement {
-    /// The baseline policy: every layer on.
+    /// The baseline policy: every hardware/gateway layer on (the software
+    /// layer is a separate ladder rung — see
+    /// [`FleetEnforcement::full_with_app`]).
     pub fn baseline() -> Self {
         FleetEnforcement {
             gateway_whitelist: true,
             node_hpe: true,
             segment_hpe: true,
+            app_policy: false,
+        }
+    }
+
+    /// Every layer on, including the per-component application policy.
+    pub fn full_with_app() -> Self {
+        FleetEnforcement {
+            app_policy: true,
+            ..Self::baseline()
         }
     }
 
@@ -123,6 +139,7 @@ impl FleetEnforcement {
             gateway_whitelist: false,
             node_hpe: false,
             segment_hpe: false,
+            app_policy: false,
         }
     }
 
@@ -138,12 +155,42 @@ impl FleetEnforcement {
         if self.segment_hpe {
             parts.push("seg-hpe");
         }
+        if self.app_policy {
+            parts.push("app");
+        }
         if parts.is_empty() {
             "none".into()
         } else {
             parts.join("+")
         }
     }
+}
+
+/// Wire-level error injection on both of a vehicle's CAN segments —
+/// enables the E1 bus-off attack class inside the mixed fleet scenario.
+///
+/// Each vehicle's two buses draw corruption decisions from RNGs seeded by
+/// [`error_model_seed`], a pure function of `(master seed, vehicle,
+/// segment)` in the [`DetRng::stream`] derivation family — so enabling the
+/// model keeps the whole run replay-deterministic and thread-count
+/// invariant, and never perturbs the vehicle's own jitter/attack stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetErrorModel {
+    /// Probability that a targeted frame is corrupted on the wire.
+    pub probability: f64,
+    /// Identifiers to target; empty targets every frame.
+    pub target_ids: Vec<u16>,
+}
+
+/// Salt separating the wire-error seed family from the per-vehicle
+/// jitter/attack streams (`DetRng::stream(seed, index)`).
+const ERROR_SEED_SALT: u64 = 0x5EED_0F_E1_B05; // "seed of E1 bus-off"
+
+/// Derives the RNG seed for vehicle `index`'s segment (`0` = powertrain,
+/// `1` = comfort) wire-error model. Pinned by a known-answer test: replayed
+/// experiments depend on this derivation never changing silently.
+pub fn error_model_seed(master: u64, index: usize, segment: u64) -> u64 {
+    DetRng::stream(master ^ ERROR_SEED_SALT, (index as u64) * 2 + segment).next_u64()
 }
 
 /// Configuration of a fleet run.
@@ -171,6 +218,9 @@ pub struct FleetConfig {
     pub inside_attack_chance: f64,
     /// Active enforcement layers.
     pub enforcement: FleetEnforcement,
+    /// Optional wire-level error injection on every vehicle's segments
+    /// (off by default; see [`FleetErrorModel`]).
+    pub error_model: Option<FleetErrorModel>,
 }
 
 impl FleetConfig {
@@ -187,6 +237,7 @@ impl FleetConfig {
             inject_jitter: SimDuration::millis(15),
             inside_attack_chance: 0.3,
             enforcement: FleetEnforcement::baseline(),
+            error_model: None,
         }
     }
 }
@@ -261,7 +312,9 @@ pub struct Vehicle {
     nodes_b: Vec<NodeHandle>,
     attacker: NodeHandle,
     door_locks: NodeHandle,
+    telematics: NodeHandle,
     engine: Arc<PolicyEngine>,
+    app: Option<crate::components::AppPolicy>,
     ctx: EvalContext,
     rng: DetRng,
     scheduler: Scheduler<VehicleEvent>,
@@ -347,6 +400,7 @@ fn asset_for_id(id: u16) -> Option<&'static str> {
         | messages::SAFETY_EVENT
         | messages::FAILSAFE_TRIGGER
         | messages::MODE_CHANGE => Some("safety-critical"),
+        messages::V2X_LEAD => Some("v2x-platoon"),
         _ => None,
     }
 }
@@ -364,6 +418,20 @@ impl Vehicle {
         let mut rng = DetRng::stream(cfg.seed, index as u64);
         let mut powertrain = CanBus::new(500_000);
         let mut comfort = CanBus::new(500_000);
+        if let Some(em) = &cfg.error_model {
+            let model = polsec_can::ErrorModel {
+                probability: em.probability,
+                target_ids: if em.target_ids.is_empty() {
+                    None
+                } else {
+                    Some(em.target_ids.iter().map(|&id| CanId::Standard(id)).collect())
+                },
+            };
+            // Pinned derivation: the error draws belong to the
+            // DetRng::stream contract, separate from the vehicle stream.
+            powertrain.set_error_model(Some(model.clone()), error_model_seed(cfg.seed, index, 0));
+            comfort.set_error_model(Some(model), error_model_seed(cfg.seed, index, 1));
+        }
         // Deterministic 1-in-N trace sampling per segment; the detail
         // strings of surviving records are still built lazily by the bus.
         let trace_seed = cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -374,13 +442,27 @@ impl Vehicle {
             .trace_mut()
             .set_sampling(TRACE_SAMPLE_EVERY, trace_seed ^ 1);
 
-        let (ecu_fw, ecu) = ecu_firmware(None);
-        let (eps_fw, eps) = eps_firmware(None);
-        let (engine_fw, engine_state) = engine_firmware(None);
-        let (tel_fw, telematics) = telematics_firmware(None);
-        let (info_fw, infotainment) = infotainment_firmware(None, None);
-        let (locks_fw, door_locks_state) = door_locks_firmware(None);
-        let (safety_fw, safety) = safety_firmware(None);
+        // The software layer: per-component policy points share the fleet
+        // engine but carry a per-vehicle rate scope and their own
+        // situational context, so the layer adds no cross-vehicle coupling.
+        let app = cfg.enforcement.app_policy.then(|| {
+            let ctx = shared(
+                EvalContext::new()
+                    .with_mode("normal")
+                    .with_state("vehicle.moving", "true")
+                    .with_state("crash", "false")
+                    .with_state("stolen", "false"),
+            );
+            AppPolicy::new(Arc::clone(&engine), ctx).with_rate_scope(index as u64)
+        });
+
+        let (ecu_fw, ecu) = ecu_firmware(app.clone());
+        let (eps_fw, eps) = eps_firmware(app.clone());
+        let (engine_fw, engine_state) = engine_firmware(app.clone());
+        let (tel_fw, telematics) = telematics_firmware(app.clone());
+        let (info_fw, infotainment) = infotainment_firmware(app.clone(), None);
+        let (locks_fw, door_locks_state) = door_locks_firmware(app.clone());
+        let (safety_fw, safety) = safety_firmware(app.clone());
         let (sensors_fw, sensors) = sensors_firmware();
 
         let states = CarStates {
@@ -426,9 +508,14 @@ impl Vehicle {
             nodes_a.push(h);
         }
         let mut nodes_b = Vec::new();
+        let mut telematics_node = None;
         for name in COMFORT_NODES {
             let fw = firmwares.remove(name).expect("every comfort node has firmware");
-            nodes_b.push(attach(&mut comfort, name, fw));
+            let h = attach(&mut comfort, name, fw);
+            if name == "telematics" {
+                telematics_node = Some(h);
+            }
+            nodes_b.push(h);
         }
         let attacker = comfort.attach(CanNode::new("obd-dongle"));
 
@@ -527,7 +614,9 @@ impl Vehicle {
             nodes_b,
             attacker,
             door_locks: door_locks.expect("door-locks is a powertrain node"),
+            telematics: telematics_node.expect("telematics is a comfort node"),
             engine,
+            app,
             ctx,
             rng,
             scheduler,
@@ -565,11 +654,22 @@ impl Vehicle {
     /// Runs the vehicle to its frame quota and returns its metrics
     /// (including `wall.*` entries the caller is expected to split off).
     pub fn run(mut self, cfg: &FleetConfig) -> MetricSet {
+        self.run_until(cfg, self.frames_quota);
+        self.finish()
+    }
+
+    /// Runs scheduler events until the vehicle's buses have carried at
+    /// least `target_frames` in total. Re-entrant: the V2X epoch loop
+    /// calls this with an increasing target, interleaving cross-vehicle
+    /// message processing between slices without disturbing the event
+    /// stream (the scheduler, RNG and buses simply continue).
+    pub fn run_until(&mut self, cfg: &FleetConfig, target_frames: u64) {
         // Event bound: ticks dominate and each tick carries several frames,
         // so this only trips if traffic generation stalls entirely.
-        let max_events = self.frames_quota * 4 + 10_000;
+        let missing = target_frames.saturating_sub(self.frames_on_wire());
+        let max_events = missing * 4 + 10_000;
         let mut events = 0;
-        while self.frames_on_wire() < self.frames_quota && events < max_events {
+        while self.frames_on_wire() < target_frames && events < max_events {
             let Some((_, event)) = self.scheduler.pop() else {
                 break;
             };
@@ -580,7 +680,30 @@ impl Vehicle {
                 VehicleEvent::Compromise => self.on_compromise(),
             }
         }
-        self.finish()
+    }
+
+    /// Current simulated time of the vehicle's scheduler.
+    pub fn now(&self) -> polsec_sim::SimTime {
+        self.scheduler.now()
+    }
+
+    /// The vehicle's metric set (the V2X layer folds its own counters into
+    /// the same per-vehicle set so one merge covers both).
+    pub fn metrics_mut(&mut self) -> &mut MetricSet {
+        &mut self.metrics
+    }
+
+    /// Relays an accepted V2X platoon-lead message onto the in-vehicle
+    /// network: the telematics unit broadcasts a [`messages::V2X_LEAD`]
+    /// frame on the comfort segment, from where it crosses the gateway
+    /// (whitelisted), passes the segment and node HPEs, and reaches the
+    /// EV-ECU's platoon logic — the full enforcement path of any other
+    /// boundary frame.
+    pub fn relay_v2x(&mut self, speed: u8, brake: bool, seq: u16) {
+        let payload = [speed, u8::from(brake), seq as u8, (seq >> 8) as u8];
+        if let Ok(frame) = CanFrame::data(CanId::Standard(messages::V2X_LEAD), &payload) {
+            let _ = self.comfort.send_from(self.telematics, frame);
+        }
     }
 
     fn on_tick(&mut self, cfg: &FleetConfig) {
@@ -758,7 +881,7 @@ impl Vehicle {
 
     /// Folds final bus statistics, gateway counters and HPE telemetry into
     /// the metric set.
-    fn finish(mut self) -> MetricSet {
+    pub fn finish(mut self) -> MetricSet {
         // Zero-initialise conditionally-counted metrics so the *counter*
         // shape is identical across enforcement configurations (histograms
         // like verdict.cycles still only exist where their source layer is
@@ -779,6 +902,10 @@ impl Vehicle {
             "hpe.write_blocked",
             "hpe.tamper_attempts",
             "hpe.cycles",
+            "frames.corrupted",
+            "bus.off_nodes",
+            "app.rejected",
+            "app.implausible",
         ] {
             self.metrics.count(key, 0);
         }
@@ -788,11 +915,30 @@ impl Vehicle {
             self.metrics.count("frames.delivered", stats.frames_delivered);
             self.metrics.count("frames.rejected", stats.frames_rejected);
             self.metrics.count("frames.abandoned", stats.frames_abandoned);
+            self.metrics.count("frames.corrupted", stats.frames_corrupted);
             self.metrics
                 .count("frames.blocked_ingress", stats.frames_blocked_ingress);
             self.metrics
                 .count("frames.blocked_egress", stats.frames_blocked_egress);
             self.metrics.count("bus.time_us", bus.now().as_micros());
+            let bus_off = bus
+                .nodes()
+                .filter(|(_, n)| {
+                    n.controller().counters().state() == polsec_can::ErrorState::BusOff
+                })
+                .count() as u64;
+            self.metrics.count("bus.off_nodes", bus_off);
+        }
+        if self.app.is_some() {
+            let rejected = u64::from(lock(&self.states.ecu).rejected_commands)
+                + u64::from(lock(&self.states.eps).rejected_commands)
+                + u64::from(lock(&self.states.door_locks).rejected_commands)
+                + u64::from(lock(&self.states.telematics).rejected_commands)
+                + u64::from(lock(&self.states.safety).rejected_commands);
+            let implausible = u64::from(lock(&self.states.engine).implausible_readings)
+                + u64::from(lock(&self.states.infotainment).implausible_readings);
+            self.metrics.count("app.rejected", rejected);
+            self.metrics.count("app.implausible", implausible);
         }
         self.metrics.count("gateway.forwarded", self.gateway.forwarded());
         self.metrics.count("gateway.dropped", self.gateway.dropped());
@@ -954,6 +1100,101 @@ mod tests {
     }
 
     #[test]
+    fn error_model_seed_derivation_is_pinned() {
+        // Known-answer test: the wire-error RNG seeds are part of the
+        // DetRng::stream determinism contract — replayed experiments with
+        // an error model depend on this derivation never changing.
+        assert_eq!(error_model_seed(42, 0, 0), 0xB952_3A3E_20F6_BF26);
+        assert_eq!(error_model_seed(42, 0, 1), 0x983C_035E_E07B_0459);
+        assert_eq!(error_model_seed(42, 1, 0), 0x4363_F5F6_1713_8B4C);
+        assert_eq!(error_model_seed(42, 7, 1), 0x7F40_54DC_D249_C3A8);
+        // distinct from the vehicle's own jitter/attack stream
+        let mut vehicle_stream = DetRng::stream(42, 0);
+        assert_ne!(error_model_seed(42, 0, 0), vehicle_stream.next_u64());
+    }
+
+    #[test]
+    fn error_model_runs_replay_byte_identically_and_corrupt_frames() {
+        let mut cfg = tiny(FleetEnforcement::baseline());
+        cfg.error_model = Some(FleetErrorModel {
+            probability: 0.02,
+            target_ids: Vec::new(),
+        });
+        let mut a = run_fleet(&cfg);
+        let mut b = run_fleet(&cfg);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        let mut serial = cfg.clone();
+        serial.threads = 1;
+        let mut c = run_fleet(&serial);
+        assert_eq!(a.metrics.to_json(), c.metrics.to_json());
+        assert!(a.metrics.counter("frames.corrupted") > 0, "errors must occur");
+        // and the model changes the run relative to a clean one
+        let mut clean = tiny(FleetEnforcement::baseline());
+        clean.error_model = None;
+        let mut d = run_fleet(&clean);
+        assert_eq!(d.metrics.counter("frames.corrupted"), 0);
+        assert_ne!(a.metrics.to_json(), d.metrics.to_json());
+    }
+
+    #[test]
+    fn targeted_error_model_drives_a_node_to_bus_off() {
+        // E1 class in the mixed scenario: corrupting every wheel-speed
+        // broadcast bus-offs the sensor cluster (TEC +8 per corruption).
+        let mut cfg = FleetConfig::new(1, 800);
+        cfg.error_model = Some(FleetErrorModel {
+            probability: 1.0,
+            target_ids: vec![messages::SENSOR_WHEEL_SPEED],
+        });
+        let report = run_fleet(&cfg);
+        assert!(
+            report.metrics.counter("bus.off_nodes") > 0,
+            "sustained targeted corruption must bus-off the transmitter"
+        );
+        assert!(report.metrics.counter("frames.corrupted") > 0);
+    }
+
+    #[test]
+    fn app_policy_layer_rejects_attacks_that_reach_components() {
+        // Software layer alone: no gateway whitelist, no HPEs — the attack
+        // frames reach the victim firmware, where the per-vehicle-scoped
+        // AppPolicy (sharing the fleet engine) rejects them.
+        let mut cfg = FleetConfig::new(1, 500);
+        cfg.enforcement = FleetEnforcement {
+            gateway_whitelist: false,
+            node_hpe: false,
+            segment_hpe: false,
+            app_policy: true,
+        };
+        cfg.inside_attack_chance = 0.0;
+        let engine = Arc::new(PolicyEngine::from_policy(car_policy()));
+        let vehicle = Vehicle::build(&cfg, 0, engine);
+        let states = vehicle.states().clone();
+        let metrics = vehicle.run(&cfg);
+        assert!(metrics.counter("app.rejected") > 0, "software layer fires");
+        // whatever outside kind the profile drew, its objective failed
+        assert!(lock(&states.ecu).propulsion_enabled);
+        assert!(lock(&states.eps).assist_enabled);
+        assert!(lock(&states.telematics).modem_enabled);
+        assert!(lock(&states.safety).alarm_armed);
+    }
+
+    #[test]
+    fn app_policy_fleet_runs_replay_byte_identically() {
+        // The per-vehicle rate scopes keep the shared engine's rate
+        // trackers from coupling vehicles: merged metrics stay a pure
+        // function of (config, seed) at any thread count.
+        let cfg = tiny(FleetEnforcement::full_with_app());
+        let mut a = run_fleet(&cfg);
+        let mut b = run_fleet(&cfg);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        let mut serial = cfg.clone();
+        serial.threads = 1;
+        let mut c = run_fleet(&serial);
+        assert_eq!(a.metrics.to_json(), c.metrics.to_json());
+        assert_eq!(a.leaked(), 0, "the extra rung must not weaken the ladder");
+    }
+
+    #[test]
     fn enforcement_labels() {
         assert_eq!(FleetEnforcement::baseline().label(), "gw+hpe+seg-hpe");
         assert_eq!(FleetEnforcement::none().label(), "none");
@@ -961,7 +1202,9 @@ mod tests {
             gateway_whitelist: true,
             node_hpe: false,
             segment_hpe: false,
+            app_policy: false,
         };
         assert_eq!(gw_only.label(), "gw");
+        assert_eq!(FleetEnforcement::full_with_app().label(), "gw+hpe+seg-hpe+app");
     }
 }

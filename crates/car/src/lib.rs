@@ -46,6 +46,7 @@ pub mod modes;
 pub mod scenario;
 pub mod security_model;
 pub mod threats;
+pub mod v2x;
 
 pub use attacks::AttackId;
 pub use builder::{Car, CarBuilder, EnforcementConfig};
@@ -54,3 +55,4 @@ pub use modes::CarMode;
 pub use scenario::{AttackOutcome, AttackReport, ScenarioRunner};
 pub use security_model::{car_policy, car_security_model, car_use_case};
 pub use threats::{table1_threats, Table1Row, TABLE1};
+pub use v2x::{run_v2x, V2xConfig, V2xDefenses, V2xReport};

@@ -63,6 +63,11 @@ pub const INFOTAINMENT_CMD: u16 = 0x410;
 pub const DIAG_REQUEST: u16 = 0x500;
 /// Diagnostic response.
 pub const DIAG_RESPONSE: u16 = 0x510;
+/// V2X platoon-lead status relay: the telematics unit re-broadcasts an
+/// authenticated inter-vehicle platoon message (lead speed / brake state)
+/// onto the in-vehicle network; the EV-ECU consumes it for speed matching.
+/// Payload: `[speed_kmh, brake_flag, seq_lo, seq_hi]`.
+pub const V2X_LEAD: u16 = 0x140;
 
 /// The claimed origin of a command frame (`payload[1]`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -171,6 +176,7 @@ pub fn legitimate_reads(node: &str) -> Vec<u16> {
             SAFETY_EVENT,
             MODE_CHANGE,
             DIAG_REQUEST,
+            V2X_LEAD,
         ],
         "eps" => vec![EPS_COMMAND, SENSOR_WHEEL_SPEED, MODE_CHANGE],
         "engine" => vec![ENGINE_COMMAND, SENSOR_TEMP, MODE_CHANGE],
@@ -205,7 +211,7 @@ pub fn legitimate_writes(node: &str) -> Vec<u16> {
         "ev-ecu" => vec![ECU_STATUS],
         "eps" => vec![EPS_STATUS],
         "engine" => vec![ENGINE_STATUS],
-        "telematics" => vec![TELEMATICS_TRACK, ECALL, TELEMATICS_CMD, DIAG_REQUEST],
+        "telematics" => vec![TELEMATICS_TRACK, ECALL, TELEMATICS_CMD, DIAG_REQUEST, V2X_LEAD],
         "infotainment" => vec![INFOTAINMENT_STATUS],
         "door-locks" => vec![DOOR_LOCK_STATUS],
         "safety-critical" => vec![SAFETY_EVENT, FAILSAFE_TRIGGER, DOOR_LOCK_COMMAND, MODE_CHANGE],

@@ -1,0 +1,835 @@
+//! V2X scenarios on the deterministic cross-shard message plane
+//! (DESIGN.md §9).
+//!
+//! The fleet engine (`fleet.rs`) runs vehicles as fully independent shards;
+//! this module adds the **inter-vehicle** workloads on top of
+//! [`polsec_sim::plane::run_epochs`]: vehicles run one epoch of in-vehicle
+//! traffic at a time, and between epochs the message plane routes their V2X
+//! mail in deterministic `(sender, seq)` order — so merged metrics *and
+//! every vehicle's inbox* are byte-identical at any thread count.
+//!
+//! Two scenarios run simultaneously, scored against the same leak metrics
+//! as the fleet engine:
+//!
+//! 1. **Platooning** — the lead vehicle broadcasts authenticated
+//!    speed/brake messages to the platoon group. A follower accepts a
+//!    broadcast only after a three-rung ladder:
+//!    * **auth** — an HMAC tag under the fleet V2X key (defeats the
+//!      spoofed-lead and tampered-payload attack variants),
+//!    * **replay window** — the lead's sequence number must advance
+//!      (defeats the replayed-broadcast variant),
+//!    * **policy** — the claimed remote origin is judged as a boundary
+//!      *Write* on the `v2x-platoon` asset against the vehicle's **own
+//!      policy store** — which only allows it after the OTA rollout below
+//!      has delivered the `v2x-platoon` policy.
+//!    An accepted message is then relayed onto the in-vehicle network
+//!    ([`Vehicle::relay_v2x`]): telematics → gateway whitelist → segment
+//!    and node HPEs → shared engine boundary audit → EV-ECU platoon logic.
+//! 2. **Fleet-wide OTA policy rollout** — the lead stages a
+//!    [`SignedBundle`] through the plane in scheduled waves; every vehicle
+//!    verifies the HMAC signature and version monotonicity in its
+//!    [`DevicePolicyStore`] before swapping its ingestion policy. The
+//!    compromised member later replays a **tampered** copy (flipped
+//!    payload byte, original signature) and a **stale** copy (valid
+//!    signature, already-applied version) to the whole fleet — both must
+//!    be rejected by every vehicle while the legitimate waves complete.
+//!
+//! The compromised member (the highest shard index, when attacks are on)
+//! also rotates through the three platoon attack variants, one per epoch.
+//! Ground truth for leak accounting is the envelope's sender shard: an
+//! accepted platoon message from the attacker counts as `v2x.leaked`.
+
+use crate::fleet::{FleetConfig, Vehicle};
+use crate::security_model::car_policy;
+use polsec_core::dsl::parse_policy;
+use polsec_core::sign::hmac_sha256;
+use polsec_core::{
+    AccessRequest, Action, DevicePolicyStore, EntityId, EvalContext, Policy, PolicyBundle,
+    PolicyEngine, PolicyError, PolicySet, SignedBundle,
+};
+use polsec_sim::plane::{Envelope, EpochCtx, GroupId};
+use polsec_sim::{run_epochs, DetRng, MessagePlane, MetricSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The broadcast group every vehicle of the run belongs to.
+pub const PLATOON_GROUP: GroupId = 1;
+
+/// The fleet-shared V2X authentication key (simulation stand-in for the
+/// platoon's group key).
+pub const FLEET_V2X_KEY: &[u8] = b"fleet-v2x-platoon-key";
+
+/// The OEM's OTA signing key (verifies [`SignedBundle`]s on-device).
+pub const OEM_KEY: &[u8] = b"oem-ota-signing-key";
+
+/// Salt separating the V2X-layer RNG streams (lead speed profile, brake
+/// events) from the fleet vehicle streams.
+const V2X_STREAM_SALT: u64 = 0x0E1_C0DE_2B2B_5A17;
+
+/// Claimed origin codes carried by platoon messages (the V2X analogue of
+/// the in-vehicle command origin byte — attacker-choosable, which is why
+/// the policy rung exists).
+pub const CLAIM_V2X_LEAD: u8 = 0;
+/// Claimed origin: the telematics unit.
+pub const CLAIM_TELEMATICS: u8 = 1;
+/// Claimed origin: the infotainment head unit.
+pub const CLAIM_INFOTAINMENT: u8 = 2;
+
+/// Maps a claimed origin code onto the policy entry point it asserts.
+pub fn claimed_entry(code: u8) -> &'static str {
+    match code {
+        CLAIM_V2X_LEAD => "v2x-lead",
+        CLAIM_TELEMATICS => "telematics",
+        CLAIM_INFOTAINMENT => "infotainment-ui",
+        _ => "unknown",
+    }
+}
+
+/// One platoon lead broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatoonMsg {
+    /// The claimed lead vehicle index.
+    pub lead: u32,
+    /// The claimed (monotonically increasing) broadcast number.
+    pub seq: u32,
+    /// Lead speed in km/h.
+    pub speed: u8,
+    /// Whether the lead is braking.
+    pub brake: bool,
+    /// Claimed origin code (see [`claimed_entry`]).
+    pub claimed: u8,
+    /// Truncated HMAC-SHA-256 tag under [`FLEET_V2X_KEY`].
+    pub tag: u64,
+}
+
+/// Computes the authentication tag of a platoon message: the first eight
+/// bytes of HMAC-SHA-256 over the canonical field encoding.
+pub fn platoon_tag(key: &[u8], lead: u32, seq: u32, speed: u8, brake: bool, claimed: u8) -> u64 {
+    let mut buf = [0u8; 11];
+    buf[..4].copy_from_slice(&lead.to_le_bytes());
+    buf[4..8].copy_from_slice(&seq.to_le_bytes());
+    buf[8] = speed;
+    buf[9] = u8::from(brake);
+    buf[10] = claimed;
+    let digest = hmac_sha256(key, &buf);
+    u64::from_le_bytes(digest[..8].try_into().expect("digest is 32 bytes"))
+}
+
+impl PlatoonMsg {
+    /// Builds an authentic message under `key`.
+    pub fn signed(key: &[u8], lead: u32, seq: u32, speed: u8, brake: bool, claimed: u8) -> Self {
+        PlatoonMsg {
+            lead,
+            seq,
+            speed,
+            brake,
+            claimed,
+            tag: platoon_tag(key, lead, seq, speed, brake, claimed),
+        }
+    }
+
+    /// Whether the tag verifies under `key`.
+    pub fn verify(&self, key: &[u8]) -> bool {
+        self.tag == platoon_tag(key, self.lead, self.seq, self.speed, self.brake, self.claimed)
+    }
+}
+
+/// A message on the V2X plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum V2xMsg {
+    /// A platoon lead broadcast.
+    Platoon(PlatoonMsg),
+    /// An OTA policy bundle leg: the wire parts of a [`SignedBundle`] plus
+    /// the rollout wave it belongs to.
+    Ota {
+        /// Canonical bundle payload bytes.
+        payload: Vec<u8>,
+        /// The HMAC signature in hex.
+        signature_hex: String,
+        /// The rollout wave this delivery belongs to.
+        wave: u64,
+    },
+}
+
+/// Which V2X defence rungs are active (the scenario's enforcement ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V2xDefenses {
+    /// Verify the HMAC tag of platoon messages.
+    pub auth: bool,
+    /// Require the lead sequence number to advance.
+    pub replay_window: bool,
+    /// Judge the claimed origin against the vehicle's own policy store
+    /// (which only permits platoon writes after the OTA rollout).
+    pub policy_check: bool,
+}
+
+impl V2xDefenses {
+    /// Every rung on.
+    pub fn full() -> Self {
+        V2xDefenses {
+            auth: true,
+            replay_window: true,
+            policy_check: true,
+        }
+    }
+
+    /// Every rung off (the unprotected V2X plane).
+    pub fn none() -> Self {
+        V2xDefenses {
+            auth: false,
+            replay_window: false,
+            policy_check: false,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.auth {
+            parts.push("auth");
+        }
+        if self.replay_window {
+            parts.push("replay");
+        }
+        if self.policy_check {
+            parts.push("policy");
+        }
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Configuration of a platooning + OTA-rollout run.
+#[derive(Debug, Clone)]
+pub struct V2xConfig {
+    /// The underlying fleet configuration (vehicle count, seed, threads,
+    /// in-vehicle enforcement, timing, optional wire error model).
+    pub fleet: FleetConfig,
+    /// Number of epochs (message-plane barriers).
+    pub epochs: u64,
+    /// In-vehicle frames each vehicle carries per epoch.
+    pub frames_per_epoch: u64,
+    /// Active V2X defence rungs.
+    pub defenses: V2xDefenses,
+    /// Whether the compromised member mounts the platoon and OTA attacks.
+    pub attacks: bool,
+    /// Number of OTA rollout waves (wave `w` is staged during epoch `w`).
+    pub ota_waves: u64,
+}
+
+impl V2xConfig {
+    /// A full-defence, attacks-on configuration. `epochs` must leave room
+    /// for the rollout plus the attack tail (`ota_waves + 4`).
+    pub fn new(vehicles: usize, epochs: u64, frames_per_epoch: u64) -> Self {
+        V2xConfig {
+            fleet: FleetConfig::new(vehicles, epochs * frames_per_epoch),
+            epochs,
+            frames_per_epoch,
+            defenses: V2xDefenses::full(),
+            attacks: true,
+            ota_waves: 3,
+        }
+    }
+
+    /// The platoon lead's shard index.
+    pub fn lead(&self) -> usize {
+        0
+    }
+
+    /// The compromised member's shard index, when attacks are on (needs at
+    /// least three vehicles: a lead, a clean follower and the attacker).
+    pub fn attacker(&self) -> Option<usize> {
+        (self.attacks && self.fleet.vehicles >= 3).then(|| self.fleet.vehicles - 1)
+    }
+
+    /// The rollout wave vehicle `index` belongs to.
+    pub fn wave_of(&self, index: usize) -> u64 {
+        (index as u64) % self.ota_waves.max(1)
+    }
+
+    /// The epoch in which the attacker replays a tampered copy of the
+    /// rollout bundle to the whole fleet.
+    fn tamper_epoch(&self) -> u64 {
+        self.ota_waves + 1
+    }
+
+    /// The epoch in which the attacker replays the original (now stale)
+    /// bundle to the whole fleet.
+    fn stale_epoch(&self) -> u64 {
+        self.ota_waves + 2
+    }
+}
+
+/// The policy the shared engine judges V2X boundary crossings against:
+/// the car baseline plus a read-allow for the relayed platoon status (the
+/// gateway-crossing audit treats `V2X_LEAD` as a boundary Read from the
+/// consuming segment's boundary entry — `telematics` into the powertrain).
+///
+/// Trust model: the V2X ladder (auth tag, replay window, per-vehicle
+/// policy store) authenticates platoon messages **at plane ingestion**.
+/// Once relayed, the `V2X_LEAD` frame is ordinary in-vehicle traffic:
+/// the gateway whitelist and HPEs gate it by identifier, like every other
+/// frame — so a compromised *in-vehicle* node spoofing `0x140` under a
+/// weakened in-vehicle ladder is the same honest ID-filtering limitation
+/// as Table I row 2 (value spoofing from a legitimate sender), not a
+/// V2X-plane leak.
+pub fn v2x_shared_policy_set() -> PolicySet {
+    let boundary = parse_policy(
+        r#"policy "v2x-boundary" version 1 {
+            allow read on asset:v2x-platoon from entry:telematics as v2x-relay-read;
+        }"#,
+    )
+    .expect("embedded v2x boundary policy parses");
+    [car_policy(), boundary].into_iter().collect()
+}
+
+/// The policy the OTA rollout ships: platoon following becomes permitted
+/// for the authenticated lead origin, in normal mode only.
+pub fn v2x_platoon_policy() -> Policy {
+    parse_policy(
+        r#"policy "v2x-platoon" version 1 {
+            allow write on asset:v2x-platoon from entry:v2x-lead when mode == "normal"
+                as platoon-follow;
+        }"#,
+    )
+    .expect("embedded v2x platoon policy parses")
+}
+
+/// Builds the rollout bundle (version 1 against the factory store's
+/// version 0): the full car baseline plus the platoon enablement policy.
+pub fn rollout_bundle() -> PolicyBundle {
+    PolicyBundle::new(
+        1,
+        "fleet V2X rollout: enable authenticated platoon following",
+        vec![car_policy(), v2x_platoon_policy()],
+    )
+}
+
+/// FNV-1a fold over bytes, used by the inbox digests.
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Folds one envelope into an inbox digest; the per-epoch digests land in
+/// the deterministic metric section, so the replay checks pin every
+/// vehicle's inbox content *and order*, not just the aggregate counters.
+fn envelope_digest(mut h: u64, env: &Envelope<V2xMsg>) -> u64 {
+    h = fnv(h, &(env.from as u64).to_le_bytes());
+    h = fnv(h, &env.seq.to_le_bytes());
+    match &env.msg {
+        V2xMsg::Platoon(p) => {
+            h = fnv(h, &[1, p.speed, u8::from(p.brake), p.claimed]);
+            h = fnv(h, &p.lead.to_le_bytes());
+            h = fnv(h, &p.seq.to_le_bytes());
+            h = fnv(h, &p.tag.to_le_bytes());
+        }
+        V2xMsg::Ota { payload, signature_hex, wave } => {
+            h = fnv(h, &[2]);
+            h = fnv(h, payload);
+            h = fnv(h, signature_hex.as_bytes());
+            h = fnv(h, &wave.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// One vehicle of the V2X run: the fleet vehicle plus the V2X state —
+/// policy store, ingestion engine, replay window, and (on the compromised
+/// member) captured attack material.
+struct V2xVehicle {
+    shard: usize,
+    /// Whether this shard is the compromised member.
+    is_attacker: bool,
+    car: Vehicle,
+    store: DevicePolicyStore,
+    /// Judges platoon ingestion against the store's *active* set; rebuilt
+    /// after every applied update.
+    ingest: PolicyEngine,
+    ctx: EvalContext,
+    /// Highest lead sequence number accepted through the auth rung.
+    last_lead_seq: u32,
+    /// The lead's own outgoing sequence counter.
+    lead_seq: u32,
+    /// Attacker: last authentic platoon broadcast seen (replay/tamper
+    /// material).
+    captured_platoon: Option<PlatoonMsg>,
+    /// Attacker: wire parts of the legitimately received rollout bundle.
+    captured_ota: Option<(Vec<u8>, String)>,
+    /// V2X-layer RNG stream (lead speed profile), independent of the
+    /// vehicle's in-vehicle stream.
+    rng: DetRng,
+    /// Cumulative in-vehicle frame target, advanced once per epoch.
+    frames_target: u64,
+}
+
+impl V2xVehicle {
+    fn build(cfg: &V2xConfig, shard: usize, engine: Arc<PolicyEngine>) -> Self {
+        let car = Vehicle::build(&cfg.fleet, shard, engine);
+        let store = DevicePolicyStore::new(PolicySet::from_policy(car_policy()), OEM_KEY.to_vec());
+        let ingest = PolicyEngine::new(store.active().clone());
+        V2xVehicle {
+            shard,
+            is_attacker: Some(shard) == cfg.attacker(),
+            car,
+            store,
+            ingest,
+            ctx: EvalContext::new().with_mode("normal"),
+            last_lead_seq: 0,
+            lead_seq: 0,
+            captured_platoon: None,
+            captured_ota: None,
+            rng: DetRng::stream(cfg.fleet.seed ^ V2X_STREAM_SALT, shard as u64),
+            frames_target: 0,
+        }
+    }
+
+    fn count(&mut self, key: &str, n: u64) {
+        self.car.metrics_mut().count(key, n);
+    }
+
+    /// One epoch: consume the inbox, emit this epoch's mail, then run the
+    /// in-vehicle traffic slice (so relayed frames traverse the gateway
+    /// and reach the ECU within the same epoch).
+    fn epoch(&mut self, cfg: &V2xConfig, rollout: &SignedBundle, ctx: &mut EpochCtx<'_, V2xMsg>) {
+        let mut digest = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+        for env in ctx.inbox {
+            digest = envelope_digest(digest, env);
+        }
+        let inbox = ctx.inbox;
+        for env in inbox {
+            match &env.msg {
+                V2xMsg::Platoon(p) => self.on_platoon(cfg, env.from, p),
+                V2xMsg::Ota { payload, signature_hex, wave } => {
+                    self.on_ota(payload, signature_hex, *wave)
+                }
+            }
+        }
+        // Pin this vehicle's inbox (content and order) into the
+        // deterministic metrics; masked so histogram sums cannot overflow.
+        self.car
+            .metrics_mut()
+            .observe("v2x.inbox_digest", digest & 0xFFFF_FFFF);
+
+        if self.shard == cfg.lead() {
+            self.emit_lead(cfg, rollout, ctx);
+        }
+        if Some(self.shard) == cfg.attacker() {
+            self.emit_attacks(cfg, ctx);
+        }
+
+        self.frames_target += cfg.frames_per_epoch;
+        let target = self.frames_target;
+        self.car.run_until(&cfg.fleet, target);
+    }
+
+    /// The follower's three-rung acceptance ladder.
+    fn on_platoon(&mut self, cfg: &V2xConfig, from: usize, msg: &PlatoonMsg) {
+        let is_attack = Some(from) == cfg.attacker() && from != self.shard;
+        if self.is_attacker && !is_attack {
+            // the compromised member records authentic traffic as future
+            // replay/tamper material
+            self.captured_platoon = Some(*msg);
+        }
+        if self.shard == cfg.lead() {
+            self.count("v2x.lead_ignored", 1);
+            return;
+        }
+        self.count("v2x.received", 1);
+
+        let authentic = msg.verify(FLEET_V2X_KEY);
+        if cfg.defenses.auth && !authentic {
+            self.count("v2x.rejected_auth", 1);
+            if is_attack {
+                self.count("v2x.blocked_attacks", 1);
+            }
+            return;
+        }
+        if cfg.defenses.replay_window {
+            if msg.seq <= self.last_lead_seq {
+                self.count("v2x.rejected_replay", 1);
+                if is_attack {
+                    self.count("v2x.blocked_attacks", 1);
+                }
+                return;
+            }
+            // The window tracks the *authenticated* stream only: advance on
+            // any tag-valid message (even one the policy rung later denies —
+            // a denied message must not stay replayable), but never on a
+            // forged one. With the auth rung disabled a forged fresh-looking
+            // sequence number is still accepted below (that rung's leak),
+            // yet it cannot poison the window and lock out the legitimate
+            // lead — window bookkeeping keyed on attacker-controlled values
+            // would be no window at all.
+            if authentic {
+                self.last_lead_seq = msg.seq;
+            }
+        }
+        if cfg.defenses.policy_check {
+            let request = AccessRequest::new(
+                EntityId::new("entry", claimed_entry(msg.claimed)),
+                EntityId::new("asset", "v2x-platoon"),
+                Action::Write,
+            );
+            let now_us = self.car.now().as_micros();
+            if !self.ingest.decide_at(&request, &self.ctx, now_us).is_allow() {
+                self.count("v2x.rejected_policy", 1);
+                if is_attack {
+                    self.count("v2x.blocked_attacks", 1);
+                }
+                return;
+            }
+        }
+        self.count("v2x.accepted", 1);
+        if is_attack {
+            // ground truth: an attacker-originated message made it through
+            self.count("v2x.leaked", 1);
+        }
+        self.car.relay_v2x(msg.speed, msg.brake, msg.seq as u16);
+    }
+
+    /// The device-side OTA path: verify, version-check, swap the
+    /// ingestion policy.
+    fn on_ota(&mut self, payload: &[u8], signature_hex: &str, wave: u64) {
+        let signed = SignedBundle::from_parts(payload.to_vec(), signature_hex.to_string());
+        match self.store.apply(&signed) {
+            Ok(()) => {
+                if self.is_attacker && self.captured_ota.is_none() {
+                    self.captured_ota = Some((payload.to_vec(), signature_hex.to_string()));
+                }
+                self.ingest = PolicyEngine::new(self.store.active().clone());
+                self.count("ota.applied", 1);
+                self.car
+                    .metrics_mut()
+                    .observe("ota.applied_wave", wave);
+            }
+            Err(PolicyError::BadSignature) => self.count("ota.rejected_signature", 1),
+            Err(PolicyError::StaleVersion { .. }) => self.count("ota.rejected_stale", 1),
+            Err(_) => self.count("ota.rejected_malformed", 1),
+        }
+    }
+
+    /// The lead's per-epoch output: one authenticated platoon broadcast,
+    /// plus this epoch's OTA rollout wave.
+    fn emit_lead(&mut self, cfg: &V2xConfig, rollout: &SignedBundle, ctx: &mut EpochCtx<'_, V2xMsg>) {
+        self.lead_seq += 1;
+        let speed = 60 + self.rng.next_below(21) as u8; // 60..=80 km/h
+        let brake = self.rng.chance(0.2);
+        let msg = PlatoonMsg::signed(
+            FLEET_V2X_KEY,
+            self.shard as u32,
+            self.lead_seq,
+            speed,
+            brake,
+            CLAIM_V2X_LEAD,
+        );
+        ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(msg));
+        self.count("v2x.lead_broadcasts", 1);
+
+        if ctx.epoch < cfg.ota_waves {
+            for v in 0..cfg.fleet.vehicles {
+                if cfg.wave_of(v) == ctx.epoch {
+                    ctx.outbox.unicast(
+                        v,
+                        V2xMsg::Ota {
+                            payload: rollout.payload().to_vec(),
+                            signature_hex: rollout.signature_hex().to_string(),
+                            wave: ctx.epoch,
+                        },
+                    );
+                    self.count("ota.staged", 1);
+                }
+            }
+        }
+    }
+
+    /// The compromised member's output: rotating platoon attack variants,
+    /// plus the tampered and stale OTA replays at fixed epochs.
+    fn emit_attacks(&mut self, cfg: &V2xConfig, ctx: &mut EpochCtx<'_, V2xMsg>) {
+        match ctx.epoch % 3 {
+            0 => {
+                // Spoofed lead: a fresh-looking emergency-brake order with
+                // a forged tag (the attacker does not hold the fleet key).
+                let seq = self.last_lead_seq + 100 + ctx.epoch as u32;
+                let forged = PlatoonMsg {
+                    lead: cfg.lead() as u32,
+                    seq,
+                    speed: 0,
+                    brake: true,
+                    claimed: CLAIM_V2X_LEAD,
+                    tag: 0xDEAD_BEEF_0BAD_F00D ^ u64::from(seq),
+                };
+                ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(forged));
+                self.count("v2x.attack.spoof", 1);
+            }
+            1 => {
+                // Replayed broadcast: an authentic captured message, sent
+                // again verbatim (valid tag, stale sequence number).
+                if let Some(captured) = self.captured_platoon {
+                    ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(captured));
+                    self.count("v2x.attack.replay", 1);
+                }
+            }
+            _ => {
+                // Tampered payload: a captured message with the speed field
+                // rewritten but the original tag kept.
+                if let Some(mut tampered) = self.captured_platoon {
+                    tampered.speed = 0;
+                    tampered.brake = true;
+                    ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(tampered));
+                    self.count("v2x.attack.tamper", 1);
+                }
+            }
+        }
+
+        if ctx.epoch == cfg.tamper_epoch() {
+            if let Some((payload, sig)) = self.captured_ota.clone() {
+                let mut tampered = payload;
+                if let Some(b) = tampered.last_mut() {
+                    *b ^= 0x01;
+                }
+                for v in 0..cfg.fleet.vehicles {
+                    ctx.outbox.unicast(
+                        v,
+                        V2xMsg::Ota {
+                            payload: tampered.clone(),
+                            signature_hex: sig.clone(),
+                            wave: u64::MAX,
+                        },
+                    );
+                    self.count("ota.attack.tampered", 1);
+                }
+            }
+        }
+        if ctx.epoch == cfg.stale_epoch() {
+            if let Some((payload, sig)) = self.captured_ota.clone() {
+                for v in 0..cfg.fleet.vehicles {
+                    ctx.outbox.unicast(
+                        v,
+                        V2xMsg::Ota {
+                            payload: payload.clone(),
+                            signature_hex: sig.clone(),
+                            wave: u64::MAX,
+                        },
+                    );
+                    self.count("ota.attack.stale", 1);
+                }
+            }
+        }
+    }
+
+    /// Seals the vehicle: its store version lands in the metrics (so the
+    /// replay checks also pin the rollout outcome per vehicle), then the
+    /// fleet vehicle folds its final statistics.
+    fn finish(mut self) -> MetricSet {
+        let version = self.store.version();
+        self.car.metrics_mut().count("ota.version_sum", version);
+        self.car.metrics_mut().observe("ota.final_version", version);
+        // how many relayed platoon frames survived the in-vehicle path
+        // (gateway whitelist, segment + node HPEs) and reached the ECU
+        let ecu_msgs = u64::from(crate::components::lock(&self.car.states().ecu).platoon_msgs);
+        self.car.metrics_mut().count("v2x.ecu_platoon_msgs", ecu_msgs);
+        self.car.finish()
+    }
+}
+
+/// The outcome of a V2X run.
+#[derive(Debug, Clone)]
+pub struct V2xReport {
+    /// The deterministic metrics: a pure function of the configuration.
+    pub metrics: MetricSet,
+    /// Wall-clock measurements and shared-engine statistics.
+    pub wall: MetricSet,
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// Number of epochs.
+    pub epochs: u64,
+    /// Wall-clock duration in seconds.
+    pub elapsed_sec: f64,
+}
+
+impl V2xReport {
+    /// Total frames the fleet's in-vehicle buses carried.
+    pub fn frames(&self) -> u64 {
+        self.metrics.counter("frames.transmitted")
+    }
+
+    /// Attacker-originated platoon messages accepted by a follower.
+    pub fn v2x_leaked(&self) -> u64 {
+        self.metrics.counter("v2x.leaked")
+    }
+
+    /// In-vehicle attack frames that reached an application (the fleet
+    /// engine's leak metric, unchanged).
+    pub fn leaked(&self) -> u64 {
+        self.metrics.counter("attack.leaked")
+    }
+}
+
+/// Runs the platooning + OTA-rollout scenario.
+///
+/// # Panics
+/// Panics when `epochs` leaves no room for the rollout (and, with attacks
+/// on, the tamper/stale tail): `epochs >= ota_waves + 4` with attacks,
+/// `>= ota_waves + 1` without.
+pub fn run_v2x(cfg: &V2xConfig) -> V2xReport {
+    let needed = cfg.ota_waves + if cfg.attacks { 4 } else { 1 };
+    assert!(
+        cfg.epochs >= needed,
+        "epochs {} too short for {} rollout waves (need >= {needed})",
+        cfg.epochs,
+        cfg.ota_waves
+    );
+    let engine = Arc::new(PolicyEngine::new(v2x_shared_policy_set()));
+    let rollout = rollout_bundle().sign(OEM_KEY);
+    let mut plane = MessagePlane::new();
+    plane.group(PLATOON_GROUP, 0..cfg.fleet.vehicles);
+
+    let started = Instant::now();
+    let mut merged = run_epochs(
+        cfg.fleet.vehicles,
+        cfg.fleet.threads,
+        cfg.epochs,
+        &plane,
+        |shard| V2xVehicle::build(cfg, shard, Arc::clone(&engine)),
+        |vehicle, ctx| vehicle.epoch(cfg, &rollout, ctx),
+        |vehicle, metrics| metrics.merge(&vehicle.finish()),
+    );
+    let elapsed_sec = started.elapsed().as_secs_f64();
+    let mut wall = merged.split_off_prefix("wall.");
+    for (name, value) in engine.stats().as_pairs() {
+        wall.count(&format!("engine.{name}"), value);
+    }
+    V2xReport {
+        metrics: merged,
+        wall,
+        vehicles: cfg.fleet.vehicles,
+        epochs: cfg.epochs,
+        elapsed_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(vehicles: usize) -> V2xConfig {
+        let mut cfg = V2xConfig::new(vehicles, 8, 120);
+        cfg.fleet.threads = 2;
+        cfg
+    }
+
+    #[test]
+    fn platoon_tag_is_key_and_field_sensitive() {
+        let m = PlatoonMsg::signed(FLEET_V2X_KEY, 0, 1, 60, false, CLAIM_V2X_LEAD);
+        assert!(m.verify(FLEET_V2X_KEY));
+        assert!(!m.verify(b"other-key"));
+        let mut tampered = m;
+        tampered.speed = 0;
+        assert!(!tampered.verify(FLEET_V2X_KEY), "field change breaks the tag");
+        let mut reclaimed = m;
+        reclaimed.claimed = CLAIM_INFOTAINMENT;
+        assert!(!reclaimed.verify(FLEET_V2X_KEY), "claimed origin is covered");
+    }
+
+    #[test]
+    fn rollout_bundle_round_trips_and_tampering_is_detected() {
+        let signed = rollout_bundle().sign(OEM_KEY);
+        let back = signed.verify(OEM_KEY).unwrap();
+        assert_eq!(back.version, 1);
+        assert!(back.policies.iter().any(|p| p.name() == "v2x-platoon"));
+        assert!(signed.tampered().verify(OEM_KEY).is_err());
+    }
+
+    #[test]
+    fn full_defences_block_every_v2x_attack_and_rollout_completes() {
+        let cfg = tiny(5);
+        let report = run_v2x(&cfg);
+        let m = &report.metrics;
+        assert_eq!(report.v2x_leaked(), 0, "no attacker message may be accepted");
+        assert!(m.counter("v2x.accepted") > 0, "legit platooning works post-rollout");
+        assert!(
+            m.counter("v2x.ecu_platoon_msgs") > 0,
+            "relayed broadcasts must cross the gateway + HPEs into the ECU"
+        );
+        assert!(m.counter("v2x.rejected_auth") > 0, "spoof/tamper die at auth");
+        assert!(m.counter("v2x.rejected_replay") > 0, "replay dies at the window");
+        assert!(
+            m.counter("v2x.rejected_policy") > 0,
+            "pre-rollout messages die at the policy rung"
+        );
+        // every vehicle applied exactly the one legitimate rollout bundle
+        assert_eq!(m.counter("ota.applied"), 5);
+        assert_eq!(m.counter("ota.version_sum"), 5);
+        // the tampered and stale replays were rejected fleet-wide
+        assert_eq!(m.counter("ota.attack.tampered"), 5);
+        assert_eq!(m.counter("ota.rejected_signature"), 5);
+        assert_eq!(m.counter("ota.attack.stale"), 5);
+        assert_eq!(m.counter("ota.rejected_stale"), 5);
+        // and the in-vehicle fleet ladder still holds
+        assert_eq!(report.leaked(), 0);
+    }
+
+    #[test]
+    fn undefended_plane_leaks_attacker_messages() {
+        let mut cfg = tiny(5);
+        cfg.defenses = V2xDefenses::none();
+        let report = run_v2x(&cfg);
+        assert!(report.v2x_leaked() > 0, "no defences must leak");
+        // the rollout still completes: the OTA path's signature check is
+        // the update mechanism itself, not a configurable rung
+        assert_eq!(report.metrics.counter("ota.applied"), 5);
+    }
+
+    #[test]
+    fn auth_alone_stops_spoof_and_tamper_but_not_replay() {
+        let mut cfg = tiny(5);
+        cfg.defenses = V2xDefenses {
+            auth: true,
+            replay_window: false,
+            policy_check: false,
+        };
+        let report = run_v2x(&cfg);
+        // replayed authentic broadcasts get through; forged ones do not
+        assert!(report.v2x_leaked() > 0);
+        assert!(report.metrics.counter("v2x.rejected_auth") > 0);
+    }
+
+    #[test]
+    fn replay_is_thread_count_invariant() {
+        let cfg = tiny(6);
+        let mut a = run_v2x(&cfg);
+        for threads in [1, 4] {
+            let mut variant = cfg.clone();
+            variant.fleet.threads = threads;
+            let mut b = run_v2x(&variant);
+            assert_eq!(
+                a.metrics.to_json(),
+                b.metrics.to_json(),
+                "threads={threads} changed the deterministic section"
+            );
+        }
+    }
+
+    #[test]
+    fn defence_labels() {
+        assert_eq!(V2xDefenses::full().label(), "auth+replay+policy");
+        assert_eq!(V2xDefenses::none().label(), "none");
+    }
+
+    #[test]
+    fn epoch_guard_panics_on_short_runs() {
+        let result = std::panic::catch_unwind(|| {
+            let mut cfg = V2xConfig::new(3, 2, 50);
+            cfg.ota_waves = 3;
+            run_v2x(&cfg)
+        });
+        assert!(result.is_err());
+    }
+}

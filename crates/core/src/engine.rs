@@ -43,7 +43,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 /// How applying rules combine into one decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -259,11 +259,17 @@ impl DynamicRates {
     }
 }
 
-/// Declared-key atomic windows plus the bounded dynamic overflow.
+/// Declared-key atomic windows plus the bounded dynamic overflow, and a
+/// lazily-populated per-*scope* replica of the declared windows (one scope
+/// per tenant of a shared engine — e.g. per vehicle in a fleet run), so
+/// scoped rate observations never couple through a global window.
 #[derive(Debug, Default)]
 struct RateTable {
     declared: HashMap<Symbol, usize>,
     windows: Vec<AtomicWindow>,
+    /// Scope id → one window per declared key. Read-locked on the hot
+    /// path; write-locked only the first time a scope is touched.
+    scoped: RwLock<HashMap<u64, Vec<AtomicWindow>>>,
     dynamic: Mutex<DynamicRates>,
 }
 
@@ -278,18 +284,58 @@ impl RateTable {
         }
     }
 
+    fn observe_scoped(&self, scope: u64, key: &str, now_us: u64) {
+        if let Some(&i) = Symbol::try_get(key).and_then(|s| self.declared.get(&s)) {
+            {
+                let scopes = read(&self.scoped);
+                if let Some(windows) = scopes.get(&scope) {
+                    windows[i].observe(now_us);
+                    return;
+                }
+            }
+            let mut scopes = write(&self.scoped);
+            let windows = scopes
+                .entry(scope)
+                .or_insert_with(|| (0..self.windows.len()).map(|_| AtomicWindow::default()).collect());
+            windows[i].observe(now_us);
+        }
+        // Undeclared scoped keys are dropped: no decision path reads them
+        // (the overlay falls back to the *context's* rates, never to the
+        // dynamic table, for scoped lookups), and parking them in the
+        // bounded dynamic table could only evict unscoped keys whose
+        // pre-declaration history is actually replayed on reload.
+    }
+
     fn declared_rate(&self, key: &str, now_us: u64) -> Option<f64> {
         let sym = Symbol::try_get(key)?;
         let &i = self.declared.get(&sym)?;
         Some(self.windows[i].count(now_us) as f64)
     }
 
+    /// Like [`RateTable::declared_rate`] but reading the scope's windows.
+    /// A declared key with an untouched scope reads as rate 0 (the scope
+    /// simply has not observed any events yet).
+    fn declared_rate_scoped(&self, scope: u64, key: &str, now_us: u64) -> Option<f64> {
+        let sym = Symbol::try_get(key)?;
+        let &i = self.declared.get(&sym)?;
+        let scopes = read(&self.scoped);
+        Some(
+            scopes
+                .get(&scope)
+                .map(|windows| windows[i].count(now_us) as f64)
+                .unwrap_or(0.0),
+        )
+    }
+
     /// Rebuilds the declared set, carrying over windows for keys that stay
     /// declared and replaying recent dynamic observations for keys that
-    /// become declared.
+    /// become declared. Scoped windows are indexed by declared-key slot,
+    /// so they are reset wholesale (a reload starts every scope's windows
+    /// empty — documented on `observe_rate_event_scoped`).
     fn rebuild(&mut self, keys: impl Iterator<Item = Symbol>) {
         let old_declared = std::mem::take(&mut self.declared);
         let old_windows = std::mem::take(&mut self.windows);
+        write(&self.scoped).clear();
         let mut dynamic = lock(&self.dynamic);
         for sym in keys {
             let idx = self.windows.len();
@@ -320,14 +366,24 @@ struct RateOverlay<'a> {
 
 impl RateSource for RateOverlay<'_> {
     fn rate_per_sec(&self, key: &str) -> f64 {
-        self.table
-            .declared_rate(key, self.now_us)
-            .unwrap_or_else(|| self.ctx.rate_per_sec(key))
+        let declared = match self.ctx.rate_scope() {
+            Some(scope) => self.table.declared_rate_scoped(scope, key, self.now_us),
+            None => self.table.declared_rate(key, self.now_us),
+        };
+        declared.unwrap_or_else(|| self.ctx.rate_per_sec(key))
     }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Evaluation statistics.
@@ -665,6 +721,20 @@ impl PolicyEngine {
     /// undeclared keys fall into a bounded, pruned side table.
     pub fn observe_rate_event(&self, key: &str, now_us: u64) {
         self.rates.observe(key, now_us);
+    }
+
+    /// Notes an event for a rate key inside a *scope*: an independent set
+    /// of per-key windows identified by `scope`. A decision evaluated
+    /// under an [`EvalContext`] carrying the same scope
+    /// ([`EvalContext::with_rate_scope`]) reads these windows instead of
+    /// the global ones, so tenants of one shared engine (e.g. the
+    /// vehicles of a fleet simulation) get fully independent rate
+    /// tracking. Scoped windows are reset by [`PolicyEngine::reload`],
+    /// and — unlike the unscoped path — events for keys the loaded
+    /// policies do not declare are dropped rather than parked, since no
+    /// decision path ever reads them.
+    pub fn observe_rate_event_scoped(&self, scope: u64, key: &str, now_us: u64) {
+        self.rates.observe_scoped(scope, key, now_us);
     }
 
     /// Decides a request at time 0.
@@ -1149,6 +1219,82 @@ mod tests {
         assert!(!e.decide_at(&r, &ctx, 4_000).is_allow());
         // a second later the window has drained
         assert!(e.decide_at(&r, &ctx, 1_200_000).is_allow());
+    }
+
+    #[test]
+    fn scoped_rate_windows_are_independent() {
+        let p = Policy::new("p", 1)
+            .add_rule(
+                Rule::new(
+                    "rate-limited",
+                    Effect::Allow,
+                    ActionSet::only(Action::Write),
+                    EntityMatcher::anything(),
+                    EntityMatcher::anything(),
+                )
+                .when(Condition::RateAtMost { key: "cmd".into(), max_per_sec: 2 }),
+            )
+            .unwrap();
+        let e = PolicyEngine::from_policy(p);
+        let r = req("entry:x", "asset:y", Action::Write);
+        let scope_a = EvalContext::new().with_rate_scope(0);
+        let scope_b = EvalContext::new().with_rate_scope(1);
+        // flood scope 0 only
+        for t in 0..5 {
+            e.observe_rate_event_scoped(0, "cmd", 1_000 + t);
+        }
+        assert!(!e.decide_at(&r, &scope_a, 2_000).is_allow(), "scope 0 over limit");
+        assert!(e.decide_at(&r, &scope_b, 2_000).is_allow(), "scope 1 untouched");
+        // the global (unscoped) window is untouched by scoped observations
+        assert!(e.decide_at(&r, &EvalContext::new(), 2_000).is_allow());
+        // and global observations do not bleed into scopes
+        for t in 0..5 {
+            e.observe_rate_event("cmd", 10_000 + t);
+        }
+        assert!(e.decide_at(&r, &scope_b, 11_000).is_allow());
+        assert!(!e.decide_at(&r, &EvalContext::new(), 11_000).is_allow());
+    }
+
+    #[test]
+    fn scoped_undeclared_keys_are_dropped_not_parked() {
+        // No decision path reads scoped undeclared keys, so they must not
+        // occupy (or evict from) the bounded dynamic table.
+        let e = PolicyEngine::from_policy(Policy::new("empty", 1));
+        e.observe_rate_event_scoped(3, "burst", 1_000);
+        e.observe_rate_event_scoped(4, "burst", 1_000);
+        assert_eq!(e.dynamic_rate_keys(), 0);
+        // unscoped undeclared keys still get their replay-on-declare slot
+        e.observe_rate_event("burst", 1_000);
+        assert_eq!(e.dynamic_rate_keys(), 1);
+    }
+
+    #[test]
+    fn reload_resets_scoped_windows() {
+        let rate_rule = |key: &str| {
+            Policy::new("p", 1)
+                .add_rule(
+                    Rule::new(
+                        "rl",
+                        Effect::Allow,
+                        ActionSet::only(Action::Write),
+                        EntityMatcher::anything(),
+                        EntityMatcher::anything(),
+                    )
+                    .when(Condition::RateAtMost { key: key.into(), max_per_sec: 1 }),
+                )
+                .unwrap()
+        };
+        let mut e = PolicyEngine::from_policy(rate_rule("k"));
+        let scoped = EvalContext::new().with_rate_scope(7);
+        e.observe_rate_event_scoped(7, "k", 1_000);
+        e.observe_rate_event_scoped(7, "k", 1_001);
+        let r = req("entry:x", "asset:y", Action::Write);
+        assert!(!e.decide_at(&r, &scoped, 2_000).is_allow());
+        e.reload(PolicySet::from_policy(rate_rule("k")));
+        assert!(
+            e.decide_at(&r, &scoped, 2_000).is_allow(),
+            "a reload starts every scope's windows empty"
+        );
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub struct EvalContext {
     mode: Option<Symbol>,
     state: BTreeMap<String, String>,
     rates: BTreeMap<String, f64>,
+    rate_scope: Option<u64>,
 }
 
 impl EvalContext {
@@ -124,6 +125,28 @@ impl EvalContext {
     /// precedence for keys declared by the loaded policies).
     pub fn set_rate(&mut self, key: impl Into<String>, per_sec: f64) {
         self.rates.insert(key.into(), per_sec);
+    }
+
+    /// Selects a rate *scope* for this context (builder style): decisions
+    /// evaluated under a scoped context read the engine's per-scope rate
+    /// windows (fed by `PolicyEngine::observe_rate_event_scoped`) instead
+    /// of the global ones. Scopes keep rate trackers independent between
+    /// tenants of one shared engine — e.g. one scope per vehicle of a
+    /// fleet, so concurrently simulated vehicles cannot couple through a
+    /// shared `rate(...)` window.
+    pub fn with_rate_scope(mut self, scope: u64) -> Self {
+        self.rate_scope = Some(scope);
+        self
+    }
+
+    /// Sets or clears the rate scope in place.
+    pub fn set_rate_scope(&mut self, scope: Option<u64>) {
+        self.rate_scope = scope;
+    }
+
+    /// The active rate scope, if any.
+    pub fn rate_scope(&self) -> Option<u64> {
+        self.rate_scope
     }
 }
 

@@ -13,6 +13,9 @@
 //! * [`shard`] — a deterministic sharded runner that fans independent
 //!   simulations over a thread pool and merges their [`MetricSet`]s in
 //!   shard order,
+//! * [`plane`] — an epoch-barriered variant of the sharded runner with a
+//!   deterministic cross-shard message plane (broadcast groups, unicast
+//!   mail, `(sender, seq)`-ordered inboxes),
 //! * [`trace`] — a bounded in-memory trace of simulation records with
 //!   lazily-built details and deterministic 1-in-N sampling.
 //!
@@ -37,6 +40,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod plane;
 pub mod rng;
 pub mod shard;
 pub mod time;
@@ -44,6 +48,7 @@ pub mod trace;
 
 pub use event::{EventQueue, Scheduler};
 pub use metrics::{Counter, Histogram, MetricSet};
+pub use plane::{run_epochs, Address, Envelope, EpochCtx, MessagePlane, Outbox};
 pub use rng::DetRng;
 pub use shard::run_sharded;
 pub use time::{SimDuration, SimTime};

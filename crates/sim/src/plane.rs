@@ -1,0 +1,527 @@
+//! Deterministic cross-shard message plane with epoch barriers.
+//!
+//! [`run_sharded`](crate::shard::run_sharded) runs shards that never talk to
+//! each other. Inter-shard workloads (V2X platooning broadcasts, fleet-wide
+//! OTA rollout) need shards to exchange messages *without* giving up the
+//! determinism contract: merged metrics — and every shard's view of its
+//! mail — must be byte-identical at any thread count.
+//!
+//! [`run_epochs`] achieves this with an epoch barrier. Shards run one epoch
+//! of work concurrently, each writing outgoing mail into its own
+//! [`Outbox`]; at the barrier the [`MessagePlane`] collects every outbox
+//! **in shard-index order**, routes each [`Envelope`] by deterministic
+//! rules (unicast addresses, registered broadcast groups), and builds the
+//! next epoch's inboxes. Because outboxes are drained in shard order and a
+//! shard assigns its envelopes strictly increasing sequence numbers, every
+//! inbox is sorted by `(sender_shard, seq)` — a pure function of the
+//! per-shard work, never of thread scheduling.
+//!
+//! # Example
+//! ```
+//! use polsec_sim::plane::{run_epochs, Address, MessagePlane};
+//!
+//! let mut plane = MessagePlane::new();
+//! plane.group(1, 0..4); // broadcast group 1 = every shard
+//! let merged = run_epochs(
+//!     4,
+//!     2,
+//!     3,
+//!     &plane,
+//!     |shard| shard as u64, // state: just my index
+//!     |state, ctx| {
+//!         // everyone heard everyone else's previous-epoch broadcast
+//!         for env in ctx.inbox {
+//!             assert_ne!(env.from, ctx.shard);
+//!             *state += env.msg;
+//!         }
+//!         ctx.outbox.broadcast(1, 1u64);
+//!     },
+//!     |state, metrics| metrics.count("sum", state),
+//! );
+//! // each shard heard 3 others for 2 epochs (final-epoch mail is never
+//! // consumed), plus its own index
+//! assert_eq!(merged.counter("sum"), (0 + 1 + 2 + 3) + 4 * 3 * 2);
+//! ```
+
+use crate::metrics::MetricSet;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Identifier of a broadcast group registered on a [`MessagePlane`].
+pub type GroupId = u32;
+
+/// Where an envelope is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Address {
+    /// One specific shard (delivery to self is allowed and arrives next
+    /// epoch, like any other mail).
+    Unicast(usize),
+    /// Every member of a registered broadcast group **except the sender**.
+    Broadcast(GroupId),
+}
+
+/// One routed message: sender shard, per-sender sequence number, address
+/// and payload. Inboxes are sorted by `(from, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The sending shard.
+    pub from: usize,
+    /// The sender-assigned sequence number (strictly increasing per shard
+    /// per run, across epochs).
+    pub seq: u32,
+    /// The address the sender used.
+    pub to: Address,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A shard's outgoing mail for the current epoch.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    from: usize,
+    next_seq: u32,
+    mail: Vec<Envelope<M>>,
+}
+
+impl<M> Outbox<M> {
+    fn new(from: usize, next_seq: u32) -> Self {
+        Outbox {
+            from,
+            next_seq,
+            mail: Vec::new(),
+        }
+    }
+
+    /// Queues a message to an explicit address.
+    pub fn send(&mut self, to: Address, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.mail.push(Envelope {
+            from: self.from,
+            seq,
+            to,
+            msg,
+        });
+    }
+
+    /// Queues a message to one shard.
+    pub fn unicast(&mut self, to: usize, msg: M) {
+        self.send(Address::Unicast(to), msg);
+    }
+
+    /// Queues a message to a broadcast group.
+    pub fn broadcast(&mut self, group: GroupId, msg: M) {
+        self.send(Address::Broadcast(group), msg);
+    }
+
+    /// Messages queued so far this epoch.
+    pub fn len(&self) -> usize {
+        self.mail.len()
+    }
+
+    /// Whether nothing has been queued this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.mail.is_empty()
+    }
+}
+
+/// Deterministic routing rules: which shards belong to which broadcast
+/// group. Routing itself happens inside [`run_epochs`] at each barrier.
+#[derive(Debug, Clone, Default)]
+pub struct MessagePlane {
+    groups: BTreeMap<GroupId, Vec<usize>>,
+}
+
+impl MessagePlane {
+    /// Creates a plane with no groups (only unicast routes).
+    pub fn new() -> Self {
+        MessagePlane::default()
+    }
+
+    /// Registers (or replaces) a broadcast group. Members are sorted and
+    /// deduplicated, so registration order can never influence delivery
+    /// order.
+    pub fn group(&mut self, id: GroupId, members: impl IntoIterator<Item = usize>) -> &mut Self {
+        let mut m: Vec<usize> = members.into_iter().collect();
+        m.sort_unstable();
+        m.dedup();
+        self.groups.insert(id, m);
+        self
+    }
+
+    /// The members of a group (empty for unknown groups).
+    pub fn members(&self, id: GroupId) -> &[usize] {
+        self.groups.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Counters the barrier accumulates while routing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PlaneStats {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Routes one epoch's outboxes (given in shard order) into fresh inboxes.
+/// Inboxes come out sorted by `(from, seq)` by construction.
+fn route<M: Clone>(
+    plane: &MessagePlane,
+    shards: usize,
+    outboxes: Vec<Outbox<M>>,
+    inboxes: &mut [Vec<Envelope<M>>],
+    stats: &mut PlaneStats,
+) {
+    for inbox in inboxes.iter_mut() {
+        inbox.clear();
+    }
+    for outbox in outboxes {
+        for env in outbox.mail {
+            stats.sent += 1;
+            match env.to {
+                Address::Unicast(dst) if dst < shards => {
+                    stats.delivered += 1;
+                    inboxes[dst].push(env);
+                }
+                Address::Unicast(_) => stats.dropped += 1,
+                Address::Broadcast(group) => {
+                    let members = plane.members(group);
+                    let mut hit = false;
+                    for &dst in members {
+                        if dst == env.from || dst >= shards {
+                            continue;
+                        }
+                        hit = true;
+                        stats.delivered += 1;
+                        inboxes[dst].push(env.clone());
+                    }
+                    if !hit {
+                        stats.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(inboxes.iter().all(|inbox| inbox
+        .windows(2)
+        .all(|w| (w[0].from, w[0].seq) < (w[1].from, w[1].seq))));
+}
+
+/// What one shard sees during one epoch.
+#[derive(Debug)]
+pub struct EpochCtx<'a, M> {
+    /// This shard's index.
+    pub shard: usize,
+    /// The current epoch (0-based).
+    pub epoch: u64,
+    /// Total epochs in the run.
+    pub epochs: u64,
+    /// Mail routed to this shard at the previous barrier, sorted by
+    /// `(sender_shard, seq)`. Empty in epoch 0.
+    pub inbox: &'a [Envelope<M>],
+    /// Outgoing mail; delivered at the next barrier.
+    pub outbox: &'a mut Outbox<M>,
+}
+
+/// Runs `shards` stateful shard tasks for `epochs` epochs with a message
+/// barrier between epochs, on up to `threads` workers (0 = available
+/// parallelism), and merges the per-shard metric sets in shard order.
+///
+/// * `init(shard)` builds shard state before epoch 0;
+/// * `step(state, ctx)` runs one epoch — it reads `ctx.inbox` and writes
+///   `ctx.outbox`;
+/// * `finish(state, metrics)` folds the final state into the shard's
+///   metric set after the last epoch.
+///
+/// Mail sent during the final epoch has no consuming epoch; it is still
+/// routed (so `plane.delivered` counts it) but recorded under
+/// `plane.undelivered`.
+///
+/// The merged result additionally carries `plane.sent`, `plane.delivered`,
+/// `plane.dropped` (unroutable addresses / empty broadcast audiences) and
+/// `plane.epochs` — all deterministic.
+///
+/// # Determinism
+/// As with [`run_sharded`](crate::shard::run_sharded), the merged metrics
+/// are a pure function of `(shards, epochs, plane, init, step, finish)` —
+/// the thread count can only change wall-clock time. Additionally every
+/// shard's inbox content and order is thread-count-invariant.
+///
+/// # Panics
+/// A panic inside any closure is propagated once the epoch's workers have
+/// stopped.
+pub fn run_epochs<S, M, Init, Step, Fin>(
+    shards: usize,
+    threads: usize,
+    epochs: u64,
+    plane: &MessagePlane,
+    init: Init,
+    step: Step,
+    finish: Fin,
+) -> MetricSet
+where
+    S: Send,
+    M: Clone + Send + Sync,
+    Init: Fn(usize) -> S + Sync,
+    Step: Fn(&mut S, &mut EpochCtx<'_, M>) + Sync,
+    Fin: Fn(S, &mut MetricSet) + Sync,
+{
+    let threads = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(shards.max(1));
+
+    let states: Vec<Mutex<Option<S>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let mut inboxes: Vec<Vec<Envelope<M>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut next_seqs: Vec<u32> = vec![0; shards];
+    let mut stats = PlaneStats::default();
+
+    for epoch in 0..epochs {
+        // One slot per shard: collected in shard order at the barrier.
+        let outboxes: Vec<Mutex<Option<Outbox<M>>>> =
+            (0..shards).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards {
+                        break;
+                    }
+                    let mut state_slot = lock(&states[i]);
+                    let state = state_slot.get_or_insert_with(|| init(i));
+                    let mut outbox = Outbox::new(i, next_seqs[i]);
+                    let mut ctx = EpochCtx {
+                        shard: i,
+                        epoch,
+                        epochs,
+                        inbox: &inboxes[i],
+                        outbox: &mut outbox,
+                    };
+                    step(state, &mut ctx);
+                    *lock(&outboxes[i]) = Some(outbox);
+                });
+            }
+        });
+        // Barrier: collect in shard order, route deterministically.
+        let collected: Vec<Outbox<M>> = outboxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let outbox = slot
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every shard ran this epoch");
+                next_seqs[i] = outbox.next_seq;
+                outbox
+            })
+            .collect();
+        route(plane, shards, collected, &mut inboxes, &mut stats);
+    }
+
+    let undelivered: u64 = inboxes.iter().map(|inbox| inbox.len() as u64).sum();
+
+    let mut merged = MetricSet::new();
+    for (i, slot) in states.into_iter().enumerate() {
+        if let Some(state) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            let mut m = MetricSet::new();
+            finish(state, &mut m);
+            merged.merge(&m);
+        } else {
+            debug_assert!(epochs == 0, "shard {i} never ran");
+        }
+    }
+    merged.count("plane.sent", stats.sent);
+    merged.count("plane.delivered", stats.delivered);
+    merged.count("plane.dropped", stats.dropped);
+    merged.count("plane.undelivered", undelivered);
+    merged.count("plane.epochs", epochs);
+    merged
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every shard logs its inbox as (from, seq) pairs into a histogram
+    /// digest and broadcasts one message per epoch.
+    fn digest_run(shards: usize, threads: usize, epochs: u64) -> String {
+        let mut plane = MessagePlane::new();
+        plane.group(7, 0..shards);
+        let mut merged = run_epochs(
+            shards,
+            threads,
+            epochs,
+            &plane,
+            |shard| (shard, 0u64),
+            |state, ctx| {
+                for env in ctx.inbox {
+                    // fold inbox order into a deterministic digest
+                    state.1 = state
+                        .1
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add((env.from as u64) << 32 | u64::from(env.seq))
+                        .wrapping_add(u64::from(env.msg));
+                }
+                ctx.outbox.broadcast(7, ctx.shard as u32);
+                if ctx.shard + 1 < ctx.epochs as usize {
+                    ctx.outbox.unicast(ctx.shard + 1, 999);
+                }
+            },
+            |state, m| {
+                // mask so Histogram::sum (used by the JSON mean) cannot
+                // overflow when samples accumulate
+                m.observe("digest", state.1 & 0xFFFF_FFFF);
+                m.count("shards", 1);
+            },
+        );
+        merged.to_json()
+    }
+
+    #[test]
+    fn merged_metrics_and_inboxes_are_thread_count_invariant() {
+        let reference = digest_run(9, 1, 5);
+        for threads in [2, 4, 16] {
+            assert_eq!(digest_run(9, threads, 5), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn broadcast_excludes_sender_and_respects_membership() {
+        let mut plane = MessagePlane::new();
+        plane.group(1, [0, 2]);
+        let merged = run_epochs(
+            3,
+            2,
+            2,
+            &plane,
+            |shard| (shard, 0u64),
+            |state, ctx| {
+                state.1 += ctx.inbox.len() as u64;
+                for env in ctx.inbox {
+                    assert_ne!(env.from, ctx.shard, "no self-delivery on broadcast");
+                }
+                ctx.outbox.broadcast(1, 1u8);
+            },
+            |state, m| m.count(&format!("recv.{}", state.0), state.1),
+        );
+        // epoch 1 delivers epoch 0's broadcasts: shard 0 hears 1 and 2's
+        // (members {0,2} minus sender → 0 hears from 1 and 2), shard 2
+        // hears from 0 and 1, shard 1 is not a member and hears nothing.
+        assert_eq!(merged.counter("recv.0"), 2);
+        assert_eq!(merged.counter("recv.1"), 0);
+        assert_eq!(merged.counter("recv.2"), 2);
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender_then_seq() {
+        let mut plane = MessagePlane::new();
+        plane.group(1, 0..6);
+        run_epochs(
+            6,
+            3,
+            4,
+            &plane,
+            |shard| shard,
+            |_, ctx| {
+                let keys: Vec<(usize, u32)> = ctx.inbox.iter().map(|e| (e.from, e.seq)).collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                assert_eq!(keys, sorted, "inbox must arrive in (from, seq) order");
+                // several messages per epoch so sequences interleave
+                ctx.outbox.broadcast(1, 0u8);
+                ctx.outbox.broadcast(1, 1u8);
+            },
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn seq_numbers_increase_across_epochs() {
+        let plane = MessagePlane::new();
+        let merged = run_epochs(
+            2,
+            1,
+            3,
+            &plane,
+            |_| Vec::new(),
+            |seen: &mut Vec<u32>, ctx| {
+                for env in ctx.inbox {
+                    seen.push(env.seq);
+                }
+                ctx.outbox.unicast(1 - ctx.shard, 0u8);
+                ctx.outbox.unicast(1 - ctx.shard, 0u8);
+            },
+            |seen, m| {
+                assert!(seen.windows(2).all(|w| w[0] < w[1]), "{seen:?}");
+                m.count("ok", 1);
+            },
+        );
+        assert_eq!(merged.counter("ok"), 2);
+        // 2 shards x 3 epochs x 2 messages
+        assert_eq!(merged.counter("plane.sent"), 12);
+        // final epoch's mail is routed but never consumed
+        assert_eq!(merged.counter("plane.undelivered"), 4);
+    }
+
+    #[test]
+    fn unroutable_mail_is_counted_dropped() {
+        let plane = MessagePlane::new(); // no groups registered
+        let merged = run_epochs(
+            2,
+            2,
+            2,
+            &plane,
+            |_| (),
+            |_, ctx| {
+                ctx.outbox.unicast(99, 0u8); // out of range
+                ctx.outbox.broadcast(42, 0u8); // unknown group
+            },
+            |_, _| {},
+        );
+        assert_eq!(merged.counter("plane.sent"), 8);
+        assert_eq!(merged.counter("plane.dropped"), 8);
+        assert_eq!(merged.counter("plane.delivered"), 0);
+    }
+
+    #[test]
+    fn unicast_to_self_arrives_next_epoch() {
+        let plane = MessagePlane::new();
+        let merged = run_epochs(
+            1,
+            1,
+            3,
+            &plane,
+            |_| 0u64,
+            |heard, ctx| {
+                *heard += ctx.inbox.len() as u64;
+                ctx.outbox.unicast(0, 1u8);
+            },
+            |heard, m| m.count("self_heard", heard),
+        );
+        assert_eq!(merged.counter("self_heard"), 2);
+    }
+
+    #[test]
+    fn zero_epochs_and_zero_shards_are_inert() {
+        let plane = MessagePlane::new();
+        let a = run_epochs::<(), u8, _, _, _>(4, 2, 0, &plane, |_| (), |_, _| {}, |_, _| {});
+        assert_eq!(a.counter("plane.sent"), 0);
+        let b = run_epochs::<(), u8, _, _, _>(0, 2, 3, &plane, |_| (), |_, _| {}, |_, _| {});
+        assert_eq!(b.counter("plane.epochs"), 3);
+    }
+
+    #[test]
+    fn group_membership_is_order_insensitive_and_deduped() {
+        let mut plane = MessagePlane::new();
+        plane.group(1, [3, 1, 2, 1]);
+        assert_eq!(plane.members(1), &[1, 2, 3]);
+        assert_eq!(plane.members(9), &[] as &[usize]);
+    }
+}

@@ -20,6 +20,7 @@ fn main() {
                 gateway_whitelist: true,
                 node_hpe: false,
                 segment_hpe: false,
+                app_policy: false,
             },
         ),
         ("full baseline", FleetEnforcement::baseline()),

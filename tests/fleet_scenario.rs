@@ -63,6 +63,7 @@ fn enforcement_ladder_monotonically_reduces_leaks() {
         gateway_whitelist: true,
         node_hpe: false,
         segment_hpe: false,
+        app_policy: false,
     }));
     let full = run_fleet(&small(FleetEnforcement::baseline()));
     assert!(none.leaked() > 0, "unprotected fleet must leak");
@@ -81,6 +82,7 @@ fn gateway_whitelist_blocks_crossing_attacks_but_not_status_traffic() {
         gateway_whitelist: true,
         node_hpe: false,
         segment_hpe: false,
+        app_policy: false,
     }));
     assert_eq!(
         report.metrics.counter("attack.crossed_gateway"),
