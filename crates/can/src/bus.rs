@@ -84,6 +84,14 @@ pub enum BusEvent {
         /// The frame.
         frame: CanFrame,
     },
+    /// A bus-off node completed the ISO 11898-1 re-integration sequence
+    /// (128 × 11 recessive bits) and rejoined the bus.
+    BusOffRecovered {
+        /// The re-integrated node.
+        node: NodeHandle,
+        /// When re-integration completed.
+        at: SimTime,
+    },
 }
 
 /// Maximum retransmission attempts before a frame is abandoned.
@@ -421,6 +429,29 @@ impl CanBus {
         self.stats.frames_blocked_ingress += newly_blocked;
         self.stats.frames_rejected -= newly_blocked;
 
+        // A completed frame ends in ≥11 consecutive recessive bits (7-bit
+        // EOF, ACK delimiter, 3-bit intermission), so every bus-off node
+        // observes one ISO 11898-1 re-integration sequence. Error frames
+        // are dominant and never reach this path — a storm-ridden bus
+        // genuinely delays its victims' recovery.
+        for i in 0..self.nodes.len() {
+            if i == winner.0 {
+                continue;
+            }
+            if self.nodes[i]
+                .controller_mut()
+                .counters_mut()
+                .note_recessive_sequence()
+            {
+                self.stats.bus_off_recoveries += 1;
+                let node = NodeHandle(i);
+                self.events.push(BusEvent::BusOffRecovered { node, at: self.now });
+                self.trace.record_with(self.now, "bus.recover", || {
+                    format!("{node} re-integrated after bus-off")
+                });
+            }
+        }
+
         self.events.push(BusEvent::Transmitted {
             from: winner,
             frame: frame.clone(),
@@ -570,6 +601,64 @@ mod tests {
             bus.node(a).unwrap().controller().counters().state(),
             ErrorState::BusOff,
             "sustained corruption must bus-off the transmitter"
+        );
+    }
+
+    #[test]
+    fn bus_off_node_reintegrates_after_128_clean_frames() {
+        use crate::fault::ErrorState;
+        let mut bus = CanBus::new(500_000);
+        let victim = bus.attach(CanNode::new("victim"));
+        let talker = bus.attach(CanNode::new("talker"));
+        let _witness = bus.attach(CanNode::new("witness")); // ACKs the talker
+        bus.set_retry_limit(1000);
+        // E1-style storm: every frame the victim offers is corrupted.
+        bus.set_error_model(
+            Some(ErrorModel {
+                probability: 1.0,
+                target_ids: Some(vec![CanId::standard(0x50).unwrap()]),
+            }),
+            3,
+        );
+        for i in 0..40 {
+            bus.send_from(victim, frame(0x50, i)).unwrap();
+        }
+        bus.run_until_idle();
+        let state = |bus: &CanBus, h| bus.node(h).unwrap().controller().counters().state();
+        assert_eq!(state(&bus, victim), ErrorState::BusOff);
+
+        // 127 clean frames from someone else: 127 × 11-recessive-bit
+        // sequences observed, one short of re-integration. Sent one per
+        // idle run so the talker's bounded TX queue never overflows.
+        bus.set_error_model(None, 3);
+        for i in 0..127 {
+            bus.send_from(talker, frame(0x200, i as u8)).unwrap();
+            bus.run_until_idle();
+        }
+        assert_eq!(state(&bus, victim), ErrorState::BusOff, "one sequence early");
+        assert_eq!(bus.stats().bus_off_recoveries, 0);
+        assert_eq!(
+            bus.node(victim).unwrap().controller().counters().recovery_progress(),
+            127
+        );
+        bus.drain_events();
+
+        // The 128th completes recovery; the victim's still-queued frames
+        // (no longer corrupted) then transmit in the same idle run.
+        bus.send_from(talker, frame(0x200, 255)).unwrap();
+        bus.run_until_idle();
+        assert_eq!(state(&bus, victim), ErrorState::ErrorActive);
+        assert_eq!(bus.stats().bus_off_recoveries, 1);
+        assert!(bus
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, BusEvent::BusOffRecovered { node, .. } if *node == victim)));
+        let before = bus.stats().frames_transmitted;
+        bus.send_from(victim, frame(0x60, 1)).unwrap();
+        bus.run_until_idle();
+        assert!(
+            bus.stats().frames_transmitted > before,
+            "a re-integrated node must transmit again"
         );
     }
 

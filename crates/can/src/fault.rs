@@ -61,6 +61,7 @@ pub struct ErrorCounters {
     tec: u16,
     rec: u16,
     bus_off_latched: bool,
+    recovery_progress: u16,
 }
 
 /// TEC increment per transmit error.
@@ -71,6 +72,9 @@ pub const RX_ERROR_STEP: u16 = 1;
 pub const PASSIVE_THRESHOLD: u16 = 127;
 /// TEC threshold above which a node goes bus-off.
 pub const BUS_OFF_THRESHOLD: u16 = 255;
+/// Occurrences of 11 consecutive recessive bits a bus-off node must observe
+/// before it may re-integrate (ISO 11898-1 §12.1.4.2).
+pub const BUS_OFF_RECOVERY_SEQUENCES: u16 = 128;
 
 impl ErrorCounters {
     /// Fresh counters in the error-active state.
@@ -139,6 +143,37 @@ impl ErrorCounters {
         self.tec = 0;
         self.rec = 0;
         self.bus_off_latched = false;
+        self.recovery_progress = 0;
+    }
+
+    /// While bus-off, notes one observed occurrence of 11 consecutive
+    /// recessive bits (end-of-frame + intermission of someone else's
+    /// successful frame, or sustained bus idle). At the
+    /// [`BUS_OFF_RECOVERY_SEQUENCES`]-th occurrence the node re-integrates:
+    /// counters zero, state back to error-active. Returns `true` exactly
+    /// when this observation completed the recovery.
+    ///
+    /// Calls while not bus-off are no-ops, so buses can notify every node
+    /// unconditionally. Error frames contain dominant bits and must *not*
+    /// be reported here — which is exactly why a storm-ridden bus delays a
+    /// victim's re-integration.
+    pub fn note_recessive_sequence(&mut self) -> bool {
+        if !self.bus_off_latched {
+            return false;
+        }
+        self.recovery_progress += 1;
+        if self.recovery_progress >= BUS_OFF_RECOVERY_SEQUENCES {
+            self.recover_from_bus_off();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many of the required recessive-bit sequences a bus-off node has
+    /// observed so far (0 when not bus-off).
+    pub fn recovery_progress(&self) -> u16 {
+        self.recovery_progress
     }
 
     /// Whether the node may currently transmit.
@@ -238,6 +273,43 @@ mod tests {
         c.recover_from_bus_off();
         assert_eq!(c.state(), ErrorState::ErrorActive);
         assert_eq!((c.tec(), c.rec()), (0, 0));
+    }
+
+    #[test]
+    fn bus_off_recovery_takes_exactly_128_recessive_sequences() {
+        // Known answer straight from ISO 11898-1: re-integration happens at
+        // the 128th occurrence of 11 consecutive recessive bits, not before.
+        let mut c = ErrorCounters::new();
+        for _ in 0..32 {
+            c.record_tx_error();
+        }
+        assert_eq!(c.state(), ErrorState::BusOff);
+        for i in 0..(BUS_OFF_RECOVERY_SEQUENCES - 1) {
+            assert!(!c.note_recessive_sequence(), "recovered early at {i}");
+            assert_eq!(c.state(), ErrorState::BusOff);
+            assert_eq!(c.recovery_progress(), i + 1);
+        }
+        assert!(c.note_recessive_sequence(), "128th sequence must recover");
+        assert_eq!(c.state(), ErrorState::ErrorActive);
+        assert_eq!((c.tec(), c.rec(), c.recovery_progress()), (0, 0, 0));
+        assert!(c.can_transmit());
+    }
+
+    #[test]
+    fn recessive_sequences_are_ignored_while_not_bus_off() {
+        let mut c = ErrorCounters::new();
+        for _ in 0..200 {
+            assert!(!c.note_recessive_sequence());
+        }
+        assert_eq!(c.recovery_progress(), 0);
+        // progress also restarts from zero if the node goes bus-off again
+        for _ in 0..32 {
+            c.record_tx_error();
+        }
+        c.note_recessive_sequence();
+        assert_eq!(c.recovery_progress(), 1);
+        c.recover_from_bus_off();
+        assert_eq!(c.recovery_progress(), 0);
     }
 
     #[test]

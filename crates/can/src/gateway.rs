@@ -358,6 +358,58 @@ mod tests {
     }
 
     #[test]
+    fn repeated_pump_failures_conserve_frames_until_eventual_forward() {
+        // Chaos-plane satellite: a single failed pump is covered above; a
+        // *repeatedly* failing destination must keep the requeue → retry
+        // cycle lossless across pumps, and the eventual successful pump must
+        // forward every surviving frame exactly once.
+        let (mut a, mut b, mut gw, sender, receiver) = setup();
+        gw.allow(ForwardRule {
+            from: Segment::A,
+            filter: AcceptanceFilter::exact(CanId::standard(0x100).unwrap()),
+        });
+        a.send_from(sender, frame(0x050)).unwrap(); // non-matching, dropped
+        for _ in 0..4 {
+            a.send_from(sender, frame(0x100)).unwrap();
+        }
+        a.run_until_idle();
+        let drained = a.node(gw.endpoint_a()).unwrap().controller().rx_pending() as u64;
+        assert_eq!(drained, 5);
+
+        let mut wrong_b = CanBus::new(500_000);
+        for round in 1..=3 {
+            let err = gw.pump(&mut a, &mut wrong_b).unwrap_err();
+            assert!(matches!(err, CanError::UnknownNode { .. }));
+            let requeued = a.node(gw.endpoint_a()).unwrap().controller().rx_pending() as u64;
+            assert_eq!(
+                gw.forwarded() + gw.dropped() + requeued,
+                drained,
+                "conservation broken after failed pump #{round}"
+            );
+            assert_eq!(gw.forwarded(), 0);
+            assert_eq!(requeued, 4, "matching frames must survive pump #{round}");
+        }
+        // Re-pumping must not re-count the non-matching frame: it was
+        // consumed (dropped) once, on the first pump only.
+        assert_eq!(gw.dropped(), 1);
+
+        // Eventual forward: the correct destination receives each frame once.
+        gw.pump(&mut a, &mut b).unwrap();
+        b.run_until_idle();
+        assert_eq!(gw.forwarded(), 4);
+        assert_eq!(a.node(gw.endpoint_a()).unwrap().controller().rx_pending(), 0);
+        let mut got = 0;
+        while let Some(f) = b.node_mut(receiver).unwrap().receive() {
+            assert_eq!(f.id().raw(), 0x100);
+            got += 1;
+        }
+        assert_eq!(got, 4, "every frame exactly once — no loss, no duplication");
+        // And nothing is left to do: an idle pump is a no-op.
+        assert_eq!(gw.pump(&mut a, &mut b).unwrap(), 0);
+        assert_eq!(gw.forwarded() + gw.dropped(), drained);
+    }
+
+    #[test]
     fn pump_against_foreign_source_bus_errors_cleanly() {
         let (mut a, _b, mut gw, sender, _receiver) = setup();
         gw.allow(ForwardRule {

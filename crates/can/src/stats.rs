@@ -21,6 +21,9 @@ pub struct BusStats {
     pub frames_corrupted: u64,
     /// Transmissions abandoned after exceeding the retry limit.
     pub frames_abandoned: u64,
+    /// Bus-off nodes that completed the ISO 11898-1 re-integration sequence
+    /// (128 × 11 recessive bits) and rejoined the bus.
+    pub bus_off_recoveries: u64,
     /// Total bits on the wire, including stuff bits.
     pub bits_on_wire: u64,
     /// Of which, stuff bits.

@@ -11,6 +11,13 @@ use polsec_can::{ActionVec, CanFrame, Firmware, FirmwareAction};
 use polsec_core::Action;
 use polsec_sim::SimTime;
 
+/// Maximum platoon speed while in limp-home (km/h).
+pub const LIMP_HOME_SPEED_KMH: u8 = 30;
+/// Following gap during normal platooning (metres).
+pub const NORMAL_GAP_M: u8 = 20;
+/// Widened following gap while in limp-home (metres).
+pub const LIMP_HOME_GAP_M: u8 = 40;
+
 /// Observable EV-ECU state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EcuState {
@@ -29,6 +36,16 @@ pub struct EcuState {
     pub platoon_braking: bool,
     /// V2X lead relays consumed.
     pub platoon_msgs: u32,
+    /// Whether the ECU is in limp-home (degraded platoon following): the
+    /// speed target is clamped to [`LIMP_HOME_SPEED_KMH`] and the gap
+    /// widened to [`LIMP_HOME_GAP_M`].
+    pub degraded: bool,
+    /// Current following gap in metres.
+    pub platoon_gap_m: u8,
+    /// Limp-home entries honoured (from `V2X_HEALTH` relays).
+    pub degraded_events: u32,
+    /// Limp-home exits honoured.
+    pub resumed_events: u32,
 }
 
 impl Default for EcuState {
@@ -41,6 +58,10 @@ impl Default for EcuState {
             platoon_speed: 0,
             platoon_braking: false,
             platoon_msgs: 0,
+            degraded: false,
+            platoon_gap_m: NORMAL_GAP_M,
+            degraded_events: 0,
+            resumed_events: 0,
         }
     }
 }
@@ -106,9 +127,36 @@ impl Firmware for EcuFirmware {
                 let p = frame.payload();
                 if p.len() >= 2 {
                     let mut s = lock(&self.state);
-                    s.platoon_speed = p[0];
+                    // In limp-home the lead's target is clamped: the
+                    // follower keeps tracking but refuses to go faster than
+                    // the degraded ceiling until the health relay clears.
+                    s.platoon_speed = if s.degraded {
+                        p[0].min(LIMP_HOME_SPEED_KMH)
+                    } else {
+                        p[0]
+                    };
                     s.platoon_braking = p[1] != 0;
                     s.platoon_msgs += 1;
+                }
+                ActionVec::new()
+            }
+            messages::V2X_HEALTH => {
+                // Heartbeat-monitor verdict relayed by the telematics unit;
+                // the V2X ladder (and its hysteresis machine) already
+                // decided, the ECU merely actuates the degraded envelope.
+                let Some(&flag) = frame.payload().first() else {
+                    return ActionVec::new();
+                };
+                let mut s = lock(&self.state);
+                if flag != 0 && !s.degraded {
+                    s.degraded = true;
+                    s.degraded_events += 1;
+                    s.platoon_gap_m = LIMP_HOME_GAP_M;
+                    s.platoon_speed = s.platoon_speed.min(LIMP_HOME_SPEED_KMH);
+                } else if flag == 0 && s.degraded {
+                    s.degraded = false;
+                    s.resumed_events += 1;
+                    s.platoon_gap_m = NORMAL_GAP_M;
                 }
                 ActionVec::new()
             }
@@ -249,6 +297,68 @@ mod tests {
         let stub = CanFrame::data(polsec_can::CanId::Standard(messages::V2X_LEAD), &[9]).unwrap();
         fw.on_frame(SimTime::ZERO, &stub);
         assert_eq!(lock(&state).platoon_msgs, 1);
+    }
+
+    fn health_frame(flag: u8) -> CanFrame {
+        CanFrame::data(polsec_can::CanId::Standard(messages::V2X_HEALTH), &[flag]).unwrap()
+    }
+
+    fn lead_frame(speed: u8) -> CanFrame {
+        CanFrame::data(
+            polsec_can::CanId::Standard(messages::V2X_LEAD),
+            &[speed, 0, 1, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn limp_home_clamps_platoon_speed_and_widens_gap() {
+        let (mut fw, state) = ecu_firmware(None);
+        fw.on_frame(SimTime::ZERO, &lead_frame(72));
+        assert_eq!(lock(&state).platoon_speed, 72);
+        assert_eq!(lock(&state).platoon_gap_m, NORMAL_GAP_M);
+
+        fw.on_frame(SimTime::ZERO, &health_frame(1));
+        {
+            let s = lock(&state);
+            assert!(s.degraded);
+            assert_eq!(s.degraded_events, 1);
+            assert_eq!(s.platoon_gap_m, LIMP_HOME_GAP_M);
+            assert_eq!(s.platoon_speed, LIMP_HOME_SPEED_KMH, "clamped on entry");
+        }
+        // lead targets above the ceiling are clamped while degraded
+        fw.on_frame(SimTime::ZERO, &lead_frame(80));
+        assert_eq!(lock(&state).platoon_speed, LIMP_HOME_SPEED_KMH);
+        // slower-than-ceiling targets pass through (braking still works)
+        fw.on_frame(SimTime::ZERO, &lead_frame(10));
+        assert_eq!(lock(&state).platoon_speed, 10);
+
+        fw.on_frame(SimTime::ZERO, &health_frame(0));
+        {
+            let s = lock(&state);
+            assert!(!s.degraded);
+            assert_eq!(s.resumed_events, 1);
+            assert_eq!(s.platoon_gap_m, NORMAL_GAP_M);
+        }
+        fw.on_frame(SimTime::ZERO, &lead_frame(80));
+        assert_eq!(lock(&state).platoon_speed, 80, "clamp lifts on resume");
+    }
+
+    #[test]
+    fn health_transitions_are_idempotent_and_reject_empty_frames() {
+        let (mut fw, state) = ecu_firmware(None);
+        for _ in 0..3 {
+            fw.on_frame(SimTime::ZERO, &health_frame(1));
+        }
+        assert_eq!(lock(&state).degraded_events, 1, "re-entry is a no-op");
+        for _ in 0..3 {
+            fw.on_frame(SimTime::ZERO, &health_frame(0));
+        }
+        assert_eq!(lock(&state).resumed_events, 1, "re-exit is a no-op");
+        let empty =
+            CanFrame::data(polsec_can::CanId::Standard(messages::V2X_HEALTH), &[]).unwrap();
+        fw.on_frame(SimTime::ZERO, &empty);
+        assert!(!lock(&state).degraded);
     }
 
     #[test]

@@ -75,9 +75,13 @@ const CROSS_A_TO_B: [u16; 5] = [
 ];
 
 /// Identifiers legitimately crossing comfort → powertrain (remote
-/// diagnostics, plus the authenticated V2X platoon relay the telematics
-/// unit re-broadcasts for the ECU).
-const CROSS_B_TO_A: [u16; 2] = [messages::DIAG_REQUEST, messages::V2X_LEAD];
+/// diagnostics, plus the authenticated V2X platoon relay and the platoon
+/// health/limp-home relay the telematics unit re-broadcasts for the ECU).
+const CROSS_B_TO_A: [u16; 3] = [
+    messages::DIAG_REQUEST,
+    messages::V2X_LEAD,
+    messages::V2X_HEALTH,
+];
 
 /// Fleet bus traces keep one record in this many (DESIGN.md §8): enough to
 /// spot-check a run, cheap enough to vanish from the per-frame profile. The
@@ -184,7 +188,7 @@ pub struct FleetErrorModel {
 
 /// Salt separating the wire-error seed family from the per-vehicle
 /// jitter/attack streams (`DetRng::stream(seed, index)`).
-const ERROR_SEED_SALT: u64 = 0x5EED_0F_E1_B05; // "seed of E1 bus-off"
+const ERROR_SEED_SALT: u64 = 0x5EE_D0FE_1B05; // "seed of E1 bus-off"
 
 /// Derives the RNG seed for vehicle `index`'s segment (`0` = powertrain,
 /// `1` = comfort) wire-error model. Pinned by a known-answer test: replayed
@@ -400,7 +404,7 @@ fn asset_for_id(id: u16) -> Option<&'static str> {
         | messages::SAFETY_EVENT
         | messages::FAILSAFE_TRIGGER
         | messages::MODE_CHANGE => Some("safety-critical"),
-        messages::V2X_LEAD => Some("v2x-platoon"),
+        messages::V2X_LEAD | messages::V2X_HEALTH => Some("v2x-platoon"),
         _ => None,
     }
 }
@@ -706,6 +710,17 @@ impl Vehicle {
         }
     }
 
+    /// Relays a platoon-health (limp-home) verdict onto the in-vehicle
+    /// network as a [`messages::V2X_HEALTH`] frame from the telematics
+    /// unit; it traverses the same gateway/HPE path as the lead relay and
+    /// flips the EV-ECU's degraded envelope.
+    pub fn relay_v2x_health(&mut self, degraded: bool) {
+        let payload = [u8::from(degraded)];
+        if let Ok(frame) = CanFrame::data(CanId::Standard(messages::V2X_HEALTH), &payload) {
+            let _ = self.comfort.send_from(self.telematics, frame);
+        }
+    }
+
     fn on_tick(&mut self, cfg: &FleetConfig) {
         self.powertrain.tick_all();
         self.comfort.tick_all();
@@ -904,6 +919,7 @@ impl Vehicle {
             "hpe.cycles",
             "frames.corrupted",
             "bus.off_nodes",
+            "bus.recoveries",
             "app.rejected",
             "app.implausible",
         ] {
@@ -928,6 +944,7 @@ impl Vehicle {
                 })
                 .count() as u64;
             self.metrics.count("bus.off_nodes", bus_off);
+            self.metrics.count("bus.recoveries", stats.bus_off_recoveries);
         }
         if self.app.is_some() {
             let rejected = u64::from(lock(&self.states.ecu).rejected_commands)
@@ -1146,9 +1163,16 @@ mod tests {
             target_ids: vec![messages::SENSOR_WHEEL_SPEED],
         });
         let report = run_fleet(&cfg);
+        // With ISO 11898-1 re-integration modelled, the victim may have
+        // clocked 128 clean frames from its peers and rejoined by the
+        // run-end snapshot — either way it must have gone bus-off at
+        // least once.
+        let off_now = report.metrics.counter("bus.off_nodes");
+        let recovered = report.metrics.counter("bus.recoveries");
         assert!(
-            report.metrics.counter("bus.off_nodes") > 0,
-            "sustained targeted corruption must bus-off the transmitter"
+            off_now + recovered > 0,
+            "sustained targeted corruption must bus-off the transmitter \
+             (off_now={off_now}, recovered={recovered})"
         );
         assert!(report.metrics.counter("frames.corrupted") > 0);
     }

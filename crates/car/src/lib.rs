@@ -51,7 +51,7 @@ pub mod v2x;
 pub use attacks::AttackId;
 pub use builder::{Car, CarBuilder, EnforcementConfig};
 pub use fleet::{run_fleet, FleetConfig, FleetEnforcement, FleetReport, Vehicle};
-pub use modes::CarMode;
+pub use modes::{CarMode, LimpTransition, PlatoonHealth};
 pub use scenario::{AttackOutcome, AttackReport, ScenarioRunner};
 pub use security_model::{car_policy, car_security_model, car_use_case};
 pub use threats::{table1_threats, Table1Row, TABLE1};

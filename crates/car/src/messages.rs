@@ -68,6 +68,11 @@ pub const DIAG_RESPONSE: u16 = 0x510;
 /// onto the in-vehicle network; the EV-ECU consumes it for speed matching.
 /// Payload: `[speed_kmh, brake_flag, seq_lo, seq_hi]`.
 pub const V2X_LEAD: u16 = 0x140;
+/// V2X platoon-health relay: the telematics unit broadcasts the follower's
+/// limp-home state onto the in-vehicle network when the heartbeat monitor
+/// detects (or clears) a lead outage; the EV-ECU consumes it to clamp the
+/// platoon speed and widen the following gap. Payload: `[degraded_flag]`.
+pub const V2X_HEALTH: u16 = 0x150;
 
 /// The claimed origin of a command frame (`payload[1]`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -177,6 +182,7 @@ pub fn legitimate_reads(node: &str) -> Vec<u16> {
             MODE_CHANGE,
             DIAG_REQUEST,
             V2X_LEAD,
+            V2X_HEALTH,
         ],
         "eps" => vec![EPS_COMMAND, SENSOR_WHEEL_SPEED, MODE_CHANGE],
         "engine" => vec![ENGINE_COMMAND, SENSOR_TEMP, MODE_CHANGE],
@@ -211,7 +217,14 @@ pub fn legitimate_writes(node: &str) -> Vec<u16> {
         "ev-ecu" => vec![ECU_STATUS],
         "eps" => vec![EPS_STATUS],
         "engine" => vec![ENGINE_STATUS],
-        "telematics" => vec![TELEMATICS_TRACK, ECALL, TELEMATICS_CMD, DIAG_REQUEST, V2X_LEAD],
+        "telematics" => vec![
+            TELEMATICS_TRACK,
+            ECALL,
+            TELEMATICS_CMD,
+            DIAG_REQUEST,
+            V2X_LEAD,
+            V2X_HEALTH,
+        ],
         "infotainment" => vec![INFOTAINMENT_STATUS],
         "door-locks" => vec![DOOR_LOCK_STATUS],
         "safety-critical" => vec![SAFETY_EVENT, FAILSAFE_TRIGGER, DOOR_LOCK_COMMAND, MODE_CHANGE],

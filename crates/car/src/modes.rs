@@ -81,6 +81,105 @@ impl fmt::Display for CarMode {
     }
 }
 
+/// A limp-home transition reported by [`PlatoonHealth::on_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimpTransition {
+    /// The follower missed `miss_threshold` consecutive heartbeats and
+    /// enters degraded (limp-home) following.
+    Enter,
+    /// The follower heard `clean_threshold` consecutive heartbeats while
+    /// degraded and resumes normal following.
+    Exit,
+}
+
+/// Heartbeat-driven limp-home state machine for a platoon follower
+/// (DESIGN.md §10).
+///
+/// The follower samples once per plane epoch whether a fully authenticated
+/// lead heartbeat arrived. `miss_threshold` consecutive silent epochs enter
+/// the degraded mode; `clean_threshold` consecutive heartbeats exit it —
+/// asymmetric thresholds give the machine hysteresis, so a single
+/// delayed-then-delivered heartbeat cannot make the platoon flap. The
+/// machine is driven only by ladder-accepted heartbeats, never by message
+/// *content* — a spoofed "resume" burst that dies at the auth rung leaves
+/// it untouched.
+///
+/// Epoch sampling keeps the machine deterministic under the fault plane:
+/// its entire trajectory is a pure function of the heard/missed bit
+/// sequence, which the barrier makes identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatoonHealth {
+    miss_threshold: u32,
+    clean_threshold: u32,
+    consecutive_misses: u32,
+    consecutive_cleans: u32,
+    degraded: bool,
+    joined: bool,
+}
+
+impl PlatoonHealth {
+    /// A healthy, not-yet-joined machine. Thresholds are clamped to at
+    /// least 1.
+    pub fn new(miss_threshold: u32, clean_threshold: u32) -> Self {
+        PlatoonHealth {
+            miss_threshold: miss_threshold.max(1),
+            clean_threshold: clean_threshold.max(1),
+            consecutive_misses: 0,
+            consecutive_cleans: 0,
+            degraded: false,
+            joined: false,
+        }
+    }
+
+    /// Whether the follower has heard at least one heartbeat (before that,
+    /// silence is "not platooning yet", not an outage).
+    pub fn joined(&self) -> bool {
+        self.joined
+    }
+
+    /// Whether the follower is currently in limp-home.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Consecutive heartbeat misses observed so far.
+    pub fn misses(&self) -> u32 {
+        self.consecutive_misses
+    }
+
+    /// Advances one epoch. `heard` is whether a ladder-accepted lead
+    /// heartbeat arrived this epoch; returns the transition this epoch
+    /// caused, if any.
+    pub fn on_epoch(&mut self, heard: bool) -> Option<LimpTransition> {
+        if heard {
+            self.consecutive_misses = 0;
+            if !self.joined {
+                self.joined = true;
+                return None;
+            }
+            if self.degraded {
+                self.consecutive_cleans += 1;
+                if self.consecutive_cleans >= self.clean_threshold {
+                    self.degraded = false;
+                    self.consecutive_cleans = 0;
+                    return Some(LimpTransition::Exit);
+                }
+            }
+            return None;
+        }
+        self.consecutive_cleans = 0;
+        if !self.joined {
+            return None;
+        }
+        self.consecutive_misses += 1;
+        if !self.degraded && self.consecutive_misses >= self.miss_threshold {
+            self.degraded = true;
+            return Some(LimpTransition::Enter);
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +215,45 @@ mod tests {
         for m in CarMode::ALL {
             assert!(m.can_transition_to(m), "self-transition is identity");
         }
+    }
+
+    #[test]
+    fn limp_home_enters_after_misses_and_exits_with_hysteresis() {
+        let mut h = PlatoonHealth::new(3, 2);
+        // silence before the first heartbeat is not an outage
+        for _ in 0..10 {
+            assert_eq!(h.on_epoch(false), None);
+            assert!(!h.joined());
+        }
+        assert_eq!(h.on_epoch(true), None);
+        assert!(h.joined() && !h.degraded());
+        // two misses: still healthy; the third enters limp-home
+        assert_eq!(h.on_epoch(false), None);
+        assert_eq!(h.on_epoch(false), None);
+        assert_eq!(h.on_epoch(false), Some(LimpTransition::Enter));
+        assert!(h.degraded());
+        // further silence causes no repeated transitions
+        assert_eq!(h.on_epoch(false), None);
+        // one clean heartbeat is not enough to exit (hysteresis) …
+        assert_eq!(h.on_epoch(true), None);
+        assert!(h.degraded());
+        // … and a miss resets the clean streak
+        assert_eq!(h.on_epoch(false), None);
+        assert_eq!(h.on_epoch(true), None);
+        assert_eq!(h.on_epoch(true), Some(LimpTransition::Exit));
+        assert!(!h.degraded());
+        // re-entry takes a fresh run of misses
+        assert_eq!(h.on_epoch(false), None);
+        assert_eq!(h.on_epoch(false), None);
+        assert_eq!(h.on_epoch(false), Some(LimpTransition::Enter));
+    }
+
+    #[test]
+    fn limp_home_thresholds_are_clamped_to_one() {
+        let mut h = PlatoonHealth::new(0, 0);
+        assert_eq!(h.on_epoch(true), None); // joins
+        assert_eq!(h.on_epoch(false), Some(LimpTransition::Enter));
+        assert_eq!(h.on_epoch(true), Some(LimpTransition::Exit));
     }
 
     #[test]

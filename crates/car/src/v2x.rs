@@ -22,6 +22,7 @@
 //!      *Write* on the `v2x-platoon` asset against the vehicle's **own
 //!      policy store** — which only allows it after the OTA rollout below
 //!      has delivered the `v2x-platoon` policy.
+//!
 //!    An accepted message is then relayed onto the in-vehicle network
 //!    ([`Vehicle::relay_v2x`]): telematics → gateway whitelist → segment
 //!    and node HPEs → shared engine boundary audit → EV-ECU platoon logic.
@@ -35,11 +36,37 @@
 //!    be rejected by every vehicle while the legitimate waves complete.
 //!
 //! The compromised member (the highest shard index, when attacks are on)
-//! also rotates through the three platoon attack variants, one per epoch.
+//! also rotates through the four platoon attack variants, one per epoch.
 //! Ground truth for leak accounting is the envelope's sender shard: an
 //! accepted platoon message from the attacker counts as `v2x.leaked`.
+//!
+//! # Chaos: faults, heartbeats, retransmits, limp-home (DESIGN.md §10)
+//!
+//! The run can be driven through a deterministic [`FaultPlan`]: the plane
+//! drops, duplicates, delays and reorders deliveries at the barrier, so the
+//! whole degraded run stays byte-identical at any thread count. On top of
+//! the fault substrate this module adds the robustness machinery:
+//!
+//! * **Envelope dedup** — a per-sender replay window over the plane
+//!   sequence numbers (gated on the `replay_window` rung) makes duplicated
+//!   and reordered deliveries idempotent before any handler runs.
+//! * **Heartbeats + limp-home** — the lead's per-epoch broadcast doubles
+//!   as a heartbeat. A follower missing `heartbeat_miss_limit` consecutive
+//!   epochs enters limp-home ([`crate::modes::PlatoonHealth`]): the
+//!   telematics unit relays a `V2X_HEALTH` frame through the gateway/HPE
+//!   path and the EV-ECU clamps the platoon speed and widens the gap. Only
+//!   `heartbeat_clean_limit` consecutive *ladder-accepted* heartbeats exit
+//!   — a spoofed "resume" blast dies at the auth rung and cannot
+//!   short-circuit the hysteresis.
+//! * **OTA ack/retransmit** — every vehicle acks an applied (or
+//!   already-applied) rollout bundle; the lead retransmits unacked
+//!   deliveries with bounded retries and deterministic exponential backoff
+//!   (jitter from a dedicated pinned RNG stream), so the rollout completes
+//!   under heavy loss while version monotonicity keeps re-deliveries from
+//!   double-applying.
 
 use crate::fleet::{FleetConfig, Vehicle};
+use crate::modes::{LimpTransition, PlatoonHealth};
 use crate::security_model::car_policy;
 use polsec_core::dsl::parse_policy;
 use polsec_core::sign::hmac_sha256;
@@ -47,8 +74,9 @@ use polsec_core::{
     AccessRequest, Action, DevicePolicyStore, EntityId, EvalContext, Policy, PolicyBundle,
     PolicyEngine, PolicyError, PolicySet, SignedBundle,
 };
-use polsec_sim::plane::{Envelope, EpochCtx, GroupId};
-use polsec_sim::{run_epochs, DetRng, MessagePlane, MetricSet};
+use polsec_sim::plane::{Envelope, EpochCtx, GroupId, Outbox};
+use polsec_sim::{run_epochs_faulted, DetRng, FaultPlan, MessagePlane, MetricSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -65,6 +93,19 @@ pub const OEM_KEY: &[u8] = b"oem-ota-signing-key";
 /// Salt separating the V2X-layer RNG streams (lead speed profile, brake
 /// events) from the fleet vehicle streams.
 const V2X_STREAM_SALT: u64 = 0x0E1_C0DE_2B2B_5A17;
+
+/// Salt for the lead's OTA retransmit backoff-jitter stream; dedicated so
+/// enabling retransmits can never perturb the lead's speed/brake draws.
+const V2X_BACKOFF_SALT: u64 = 0xBAC0_FF5A_17D3_77E1;
+
+/// Epochs one plane round-trip takes (send at epoch `e` → delivered `e+1`
+/// → ack emitted `e+1` → ack delivered `e+2`): the earliest epoch a
+/// retransmit may fire. Fault-free rollouts therefore never retransmit.
+pub const OTA_ACK_RTT_EPOCHS: u64 = 2;
+
+/// Cap on the exponential backoff between retransmits, in extra epochs
+/// beyond the ack RTT.
+pub const OTA_BACKOFF_CAP_EPOCHS: u64 = 4;
 
 /// Claimed origin codes carried by platoon messages (the V2X analogue of
 /// the in-vehicle command origin byte — attacker-choosable, which is why
@@ -149,6 +190,15 @@ pub enum V2xMsg {
         /// The rollout wave this delivery belongs to.
         wave: u64,
     },
+    /// A unicast acknowledgement of an OTA delivery, carrying the
+    /// receiver's resulting store version. Sent after a successful apply
+    /// *and* after a stale-version rejection (the store already holds the
+    /// content, so the sender should stop retransmitting) — never after a
+    /// signature failure.
+    OtaAck {
+        /// The receiver's policy-store version after processing.
+        version: u64,
+    },
 }
 
 /// Which V2X defence rungs are active (the scenario's enforcement ladder).
@@ -218,6 +268,24 @@ pub struct V2xConfig {
     pub attacks: bool,
     /// Number of OTA rollout waves (wave `w` is staged during epoch `w`).
     pub ota_waves: u64,
+    /// Optional deterministic fault plan applied at the plane barrier
+    /// (drop / duplicate / delay / reorder). `None` = fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Optional per-epoch inbox bound (keep-first / drop-newest overflow,
+    /// counted under `plane.inbox_overflow`). `None` = unbounded.
+    pub inbox_capacity: Option<usize>,
+    /// Consecutive missed lead heartbeats before a follower enters
+    /// limp-home.
+    pub heartbeat_miss_limit: u32,
+    /// Consecutive accepted heartbeats a degraded follower needs before it
+    /// resumes normal platooning (the hysteresis side).
+    pub heartbeat_clean_limit: u32,
+    /// Maximum OTA retransmits per vehicle before the lead gives up on the
+    /// delivery (`ota.gave_up`).
+    pub ota_retry_limit: u32,
+    /// Optional `[from, until)` epoch window in which the lead is silent
+    /// (no heartbeat broadcast) — drives the limp-home scenario.
+    pub lead_outage: Option<(u64, u64)>,
 }
 
 impl V2xConfig {
@@ -231,6 +299,12 @@ impl V2xConfig {
             defenses: V2xDefenses::full(),
             attacks: true,
             ota_waves: 3,
+            faults: None,
+            inbox_capacity: None,
+            heartbeat_miss_limit: 3,
+            heartbeat_clean_limit: 2,
+            ota_retry_limit: 6,
+            lead_outage: None,
         }
     }
 
@@ -336,8 +410,61 @@ fn envelope_digest(mut h: u64, env: &Envelope<V2xMsg>) -> u64 {
             h = fnv(h, signature_hex.as_bytes());
             h = fnv(h, &wave.to_le_bytes());
         }
+        V2xMsg::OtaAck { version } => {
+            h = fnv(h, &[3]);
+            h = fnv(h, &version.to_le_bytes());
+        }
     }
     h
+}
+
+/// Verdict of an [`EnvelopeWindow`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqVerdict {
+    /// First sighting of this sequence number.
+    Fresh,
+    /// Already seen — a duplicated (or re-sent) delivery.
+    Duplicate,
+    /// Older than the window tracks; treated as replayable and dropped.
+    Stale,
+}
+
+/// A per-sender replay window over plane sequence numbers: the highest
+/// sequence seen plus a 64-bit sighting mask below it. Duplicated and
+/// reordered deliveries of *legitimate* mail become idempotent here, before
+/// any handler runs — so a duplicated OTA bundle cannot double-apply and a
+/// duplicated heartbeat cannot double-feed the limp-home machine.
+#[derive(Debug, Clone, Copy, Default)]
+struct EnvelopeWindow {
+    hi: u32,
+    mask: u64,
+}
+
+impl EnvelopeWindow {
+    fn check(&mut self, seq: u32) -> SeqVerdict {
+        if self.mask == 0 {
+            // nothing recorded yet
+            self.hi = seq;
+            self.mask = 1;
+            return SeqVerdict::Fresh;
+        }
+        if seq > self.hi {
+            let shift = u64::from(seq - self.hi);
+            self.mask = if shift >= 64 { 0 } else { self.mask << shift };
+            self.mask |= 1;
+            self.hi = seq;
+            return SeqVerdict::Fresh;
+        }
+        let back = u64::from(self.hi - seq);
+        if back >= 64 {
+            return SeqVerdict::Stale;
+        }
+        if self.mask & (1 << back) != 0 {
+            return SeqVerdict::Duplicate;
+        }
+        self.mask |= 1 << back;
+        SeqVerdict::Fresh
+    }
 }
 
 /// One vehicle of the V2X run: the fleet vehicle plus the V2X state —
@@ -367,6 +494,31 @@ struct V2xVehicle {
     rng: DetRng,
     /// Cumulative in-vehicle frame target, advanced once per epoch.
     frames_target: u64,
+    /// Per-sender plane-sequence replay windows (envelope dedup).
+    windows: BTreeMap<usize, EnvelopeWindow>,
+    /// Heartbeat-driven limp-home machine (followers only).
+    health: PlatoonHealth,
+    /// Whether a ladder-accepted lead heartbeat arrived this epoch.
+    heard_heartbeat: bool,
+    /// Lead: per-vehicle OTA delivery tracking for ack/retransmit.
+    ota_pending: BTreeMap<usize, OtaDelivery>,
+    /// Lead: backoff-jitter stream, separate from the speed-profile rng.
+    backoff_rng: DetRng,
+}
+
+/// The lead's bookkeeping for one vehicle's OTA delivery.
+#[derive(Debug, Clone, Copy)]
+struct OtaDelivery {
+    /// The rollout wave the delivery belongs to (kept on retransmits).
+    wave: u64,
+    /// Sends so far (1 = the initial wave unicast).
+    attempts: u32,
+    /// Earliest epoch the next retransmit may fire.
+    next_attempt: u64,
+    /// Whether a valid ack arrived.
+    acked: bool,
+    /// Whether the retry budget ran out.
+    gave_up: bool,
 }
 
 impl V2xVehicle {
@@ -387,6 +539,11 @@ impl V2xVehicle {
             captured_ota: None,
             rng: DetRng::stream(cfg.fleet.seed ^ V2X_STREAM_SALT, shard as u64),
             frames_target: 0,
+            windows: BTreeMap::new(),
+            health: PlatoonHealth::new(cfg.heartbeat_miss_limit, cfg.heartbeat_clean_limit),
+            heard_heartbeat: false,
+            ota_pending: BTreeMap::new(),
+            backoff_rng: DetRng::stream(cfg.fleet.seed ^ V2X_BACKOFF_SALT, shard as u64),
         }
     }
 
@@ -402,13 +559,30 @@ impl V2xVehicle {
         for env in ctx.inbox {
             digest = envelope_digest(digest, env);
         }
+        self.heard_heartbeat = false;
         let inbox = ctx.inbox;
         for env in inbox {
+            // Envelope dedup rung: duplicated or long-stale deliveries of
+            // any message kind are dropped before a handler can act twice.
+            if cfg.defenses.replay_window {
+                match self.windows.entry(env.from).or_default().check(env.seq) {
+                    SeqVerdict::Duplicate => {
+                        self.count("v2x.dedup_dropped", 1);
+                        continue;
+                    }
+                    SeqVerdict::Stale => {
+                        self.count("v2x.dedup_stale", 1);
+                        continue;
+                    }
+                    SeqVerdict::Fresh => {}
+                }
+            }
             match &env.msg {
                 V2xMsg::Platoon(p) => self.on_platoon(cfg, env.from, p),
                 V2xMsg::Ota { payload, signature_hex, wave } => {
-                    self.on_ota(payload, signature_hex, *wave)
+                    self.on_ota(env.from, payload, signature_hex, *wave, ctx.outbox)
                 }
+                V2xMsg::OtaAck { version } => self.on_ota_ack(cfg, env.from, *version),
             }
         }
         // Pin this vehicle's inbox (content and order) into the
@@ -419,6 +593,8 @@ impl V2xVehicle {
 
         if self.shard == cfg.lead() {
             self.emit_lead(cfg, rollout, ctx);
+        } else {
+            self.track_heartbeat();
         }
         if Some(self.shard) == cfg.attacker() {
             self.emit_attacks(cfg, ctx);
@@ -491,12 +667,51 @@ impl V2xVehicle {
             // ground truth: an attacker-originated message made it through
             self.count("v2x.leaked", 1);
         }
+        // Heartbeat liveness is keyed on the *transport* sender shard, not
+        // message content: only the real lead's accepted broadcasts feed
+        // the limp-home machine, so an accepted attacker message under a
+        // weakened ladder can neither silence nor fake the heartbeat.
+        if from == cfg.lead() {
+            self.heard_heartbeat = true;
+        }
         self.car.relay_v2x(msg.speed, msg.brake, msg.seq as u16);
     }
 
+    /// Follower-side heartbeat sampling: advances the limp-home hysteresis
+    /// machine once per epoch and relays transitions onto the in-vehicle
+    /// network (telematics → gateway → EV-ECU degraded envelope).
+    fn track_heartbeat(&mut self) {
+        let heard = self.heard_heartbeat;
+        if self.health.joined() && !heard {
+            self.count("v2x.heartbeat_misses", 1);
+        }
+        match self.health.on_epoch(heard) {
+            Some(LimpTransition::Enter) => {
+                self.count("v2x.degraded_entries", 1);
+                self.car.relay_v2x_health(true);
+            }
+            Some(LimpTransition::Exit) => {
+                self.count("v2x.degraded_exits", 1);
+                self.car.relay_v2x_health(false);
+            }
+            None => {}
+        }
+        if self.health.degraded() {
+            self.count("v2x.degraded_epochs", 1);
+        }
+    }
+
     /// The device-side OTA path: verify, version-check, swap the
-    /// ingestion policy.
-    fn on_ota(&mut self, payload: &[u8], signature_hex: &str, wave: u64) {
+    /// ingestion policy, and acknowledge deliveries whose content the
+    /// store now holds (applied or already-newer) back to the sender.
+    fn on_ota(
+        &mut self,
+        from: usize,
+        payload: &[u8],
+        signature_hex: &str,
+        wave: u64,
+        outbox: &mut Outbox<V2xMsg>,
+    ) {
         let signed = SignedBundle::from_parts(payload.to_vec(), signature_hex.to_string());
         match self.store.apply(&signed) {
             Ok(()) => {
@@ -508,29 +723,72 @@ impl V2xVehicle {
                 self.car
                     .metrics_mut()
                     .observe("ota.applied_wave", wave);
+                outbox.unicast(from, V2xMsg::OtaAck { version: self.store.version() });
+                self.count("ota.acks_sent", 1);
             }
             Err(PolicyError::BadSignature) => self.count("ota.rejected_signature", 1),
-            Err(PolicyError::StaleVersion { .. }) => self.count("ota.rejected_stale", 1),
+            Err(PolicyError::StaleVersion { .. }) => {
+                self.count("ota.rejected_stale", 1);
+                // Idempotent re-delivery (a retransmit that crossed the
+                // first ack in flight, or a duplicated envelope under a
+                // weakened dedup rung): the store already holds this or a
+                // newer version, so the delivery goal is met — ack so the
+                // sender stops retransmitting. Unverifiable bundles are
+                // never acknowledged.
+                outbox.unicast(from, V2xMsg::OtaAck { version: self.store.version() });
+                self.count("ota.acks_sent", 1);
+            }
             Err(_) => self.count("ota.rejected_malformed", 1),
         }
     }
 
-    /// The lead's per-epoch output: one authenticated platoon broadcast,
-    /// plus this epoch's OTA rollout wave.
+    /// Lead-side ack bookkeeping; non-lead vehicles (e.g. the attacker
+    /// collecting acks for its fleet-wide stale replay) ignore them.
+    fn on_ota_ack(&mut self, cfg: &V2xConfig, from: usize, version: u64) {
+        if self.shard != cfg.lead() || version == 0 {
+            self.count("ota.ack_ignored", 1);
+            return;
+        }
+        match self.ota_pending.get_mut(&from) {
+            Some(d) if !d.acked => {
+                d.acked = true;
+                self.count("ota.acks", 1);
+            }
+            Some(_) => self.count("ota.ack_redundant", 1),
+            None => self.count("ota.ack_ignored", 1),
+        }
+    }
+
+    /// The lead's per-epoch output: one authenticated platoon broadcast
+    /// (its heartbeat), this epoch's OTA rollout wave, and any due
+    /// retransmits of unacknowledged deliveries.
     fn emit_lead(&mut self, cfg: &V2xConfig, rollout: &SignedBundle, ctx: &mut EpochCtx<'_, V2xMsg>) {
-        self.lead_seq += 1;
-        let speed = 60 + self.rng.next_below(21) as u8; // 60..=80 km/h
-        let brake = self.rng.chance(0.2);
-        let msg = PlatoonMsg::signed(
-            FLEET_V2X_KEY,
-            self.shard as u32,
-            self.lead_seq,
-            speed,
-            brake,
-            CLAIM_V2X_LEAD,
-        );
-        ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(msg));
-        self.count("v2x.lead_broadcasts", 1);
+        let outage = cfg
+            .lead_outage
+            .is_some_and(|(from, until)| ctx.epoch >= from && ctx.epoch < until);
+        if outage {
+            // The lead is silent (tunnel, crash, jamming): followers see
+            // missed heartbeats and the limp-home hysteresis takes over.
+            // The profile draws still happen, so runs differing only in
+            // the outage window stay stream-aligned.
+            let _ = self.rng.next_below(21);
+            let _ = self.rng.chance(0.2);
+            self.count("v2x.lead_outage_epochs", 1);
+        } else {
+            self.lead_seq += 1;
+            let speed = 60 + self.rng.next_below(21) as u8; // 60..=80 km/h
+            let brake = self.rng.chance(0.2);
+            let msg = PlatoonMsg::signed(
+                FLEET_V2X_KEY,
+                self.shard as u32,
+                self.lead_seq,
+                speed,
+                brake,
+                CLAIM_V2X_LEAD,
+            );
+            ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(msg));
+            self.count("v2x.lead_broadcasts", 1);
+        }
 
         if ctx.epoch < cfg.ota_waves {
             for v in 0..cfg.fleet.vehicles {
@@ -544,15 +802,63 @@ impl V2xVehicle {
                         },
                     );
                     self.count("ota.staged", 1);
+                    self.ota_pending.insert(
+                        v,
+                        OtaDelivery {
+                            wave: ctx.epoch,
+                            attempts: 1,
+                            next_attempt: ctx.epoch + OTA_ACK_RTT_EPOCHS,
+                            acked: false,
+                            gave_up: false,
+                        },
+                    );
                 }
             }
+        }
+        self.retransmit_ota(cfg, rollout, ctx);
+    }
+
+    /// Retransmits unacknowledged OTA deliveries whose backoff expired,
+    /// with bounded retries. The k-th retransmit waits the ack RTT plus
+    /// `min(2^(k-1), cap) - 1` extra epochs plus one pinned 0/1 jitter
+    /// epoch — deterministic exponential backoff that desynchronises
+    /// retries without a wall clock.
+    fn retransmit_ota(
+        &mut self,
+        cfg: &V2xConfig,
+        rollout: &SignedBundle,
+        ctx: &mut EpochCtx<'_, V2xMsg>,
+    ) {
+        for (&v, d) in self.ota_pending.iter_mut() {
+            if d.acked || d.gave_up || ctx.epoch < d.next_attempt {
+                continue;
+            }
+            if d.attempts > cfg.ota_retry_limit {
+                d.gave_up = true;
+                self.car.metrics_mut().count("ota.gave_up", 1);
+                continue;
+            }
+            ctx.outbox.unicast(
+                v,
+                V2xMsg::Ota {
+                    payload: rollout.payload().to_vec(),
+                    signature_hex: rollout.signature_hex().to_string(),
+                    wave: d.wave,
+                },
+            );
+            let k = d.attempts; // 1-based retransmit number
+            let extra = (1u64 << u64::from((k - 1).min(31))).min(OTA_BACKOFF_CAP_EPOCHS) - 1;
+            let jitter = self.backoff_rng.next_below(2);
+            d.next_attempt = ctx.epoch + OTA_ACK_RTT_EPOCHS + extra + jitter;
+            d.attempts += 1;
+            self.car.metrics_mut().count("ota.retransmits", 1);
         }
     }
 
     /// The compromised member's output: rotating platoon attack variants,
     /// plus the tampered and stale OTA replays at fixed epochs.
     fn emit_attacks(&mut self, cfg: &V2xConfig, ctx: &mut EpochCtx<'_, V2xMsg>) {
-        match ctx.epoch % 3 {
+        match ctx.epoch % 4 {
             0 => {
                 // Spoofed lead: a fresh-looking emergency-brake order with
                 // a forged tag (the attacker does not hold the fleet key).
@@ -576,7 +882,7 @@ impl V2xVehicle {
                     self.count("v2x.attack.replay", 1);
                 }
             }
-            _ => {
+            2 => {
                 // Tampered payload: a captured message with the speed field
                 // rewritten but the original tag kept.
                 if let Some(mut tampered) = self.captured_platoon {
@@ -585,6 +891,28 @@ impl V2xVehicle {
                     ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(tampered));
                     self.count("v2x.attack.tamper", 1);
                 }
+            }
+            _ => {
+                // Spoofed "resume" blast: a burst of forged fresh-looking
+                // heartbeats trying to short-circuit a degraded follower's
+                // M-clean-heartbeat recovery (or to mask a real outage).
+                // The forged tags die at the auth rung, and the limp-home
+                // machine only samples transport-authenticated lead
+                // traffic — so the hysteresis is unaffected.
+                let base = self.last_lead_seq + 500 + ctx.epoch as u32;
+                for i in 0..3 {
+                    let seq = base + i;
+                    let forged = PlatoonMsg {
+                        lead: cfg.lead() as u32,
+                        seq,
+                        speed: 80,
+                        brake: false,
+                        claimed: CLAIM_V2X_LEAD,
+                        tag: 0x0BAD_5EED_FACE_0FF5 ^ u64::from(seq),
+                    };
+                    ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(forged));
+                }
+                self.count("v2x.attack.spoof_resume", 1);
             }
         }
 
@@ -628,13 +956,46 @@ impl V2xVehicle {
     /// replay checks also pin the rollout outcome per vehicle), then the
     /// fleet vehicle folds its final statistics.
     fn finish(mut self) -> MetricSet {
+        // Zero-initialise conditionally-counted V2X/OTA metrics so the
+        // counter shape is identical across defence configurations, fault
+        // plans and outage windows.
+        for key in [
+            "v2x.leaked",
+            "v2x.dedup_dropped",
+            "v2x.dedup_stale",
+            "v2x.heartbeat_misses",
+            "v2x.degraded_entries",
+            "v2x.degraded_exits",
+            "v2x.degraded_epochs",
+            "v2x.lead_outage_epochs",
+            "v2x.attack.spoof_resume",
+            "ota.acks",
+            "ota.acks_sent",
+            "ota.ack_ignored",
+            "ota.ack_redundant",
+            "ota.retransmits",
+            "ota.gave_up",
+        ] {
+            self.car.metrics_mut().count(key, 0);
+        }
         let version = self.store.version();
         self.car.metrics_mut().count("ota.version_sum", version);
         self.car.metrics_mut().observe("ota.final_version", version);
         // how many relayed platoon frames survived the in-vehicle path
         // (gateway whitelist, segment + node HPEs) and reached the ECU
-        let ecu_msgs = u64::from(crate::components::lock(&self.car.states().ecu).platoon_msgs);
+        let (ecu_msgs, ecu_entered, ecu_resumed, ecu_degraded_now) = {
+            let ecu = crate::components::lock(&self.car.states().ecu);
+            (
+                u64::from(ecu.platoon_msgs),
+                u64::from(ecu.degraded_events),
+                u64::from(ecu.resumed_events),
+                u64::from(ecu.degraded),
+            )
+        };
         self.car.metrics_mut().count("v2x.ecu_platoon_msgs", ecu_msgs);
+        self.car.metrics_mut().count("v2x.ecu_degraded_events", ecu_entered);
+        self.car.metrics_mut().count("v2x.ecu_resumed_events", ecu_resumed);
+        self.car.metrics_mut().count("v2x.ecu_still_degraded", ecu_degraded_now);
         self.car.finish()
     }
 }
@@ -690,13 +1051,17 @@ pub fn run_v2x(cfg: &V2xConfig) -> V2xReport {
     let rollout = rollout_bundle().sign(OEM_KEY);
     let mut plane = MessagePlane::new();
     plane.group(PLATOON_GROUP, 0..cfg.fleet.vehicles);
+    if let Some(capacity) = cfg.inbox_capacity {
+        plane.bound_inboxes(capacity);
+    }
 
     let started = Instant::now();
-    let mut merged = run_epochs(
+    let mut merged = run_epochs_faulted(
         cfg.fleet.vehicles,
         cfg.fleet.threads,
         cfg.epochs,
         &plane,
+        cfg.faults.as_ref(),
         |shard| V2xVehicle::build(cfg, shard, Arc::clone(&engine)),
         |vehicle, ctx| vehicle.epoch(cfg, &rollout, ctx),
         |vehicle, metrics| metrics.merge(&vehicle.finish()),
@@ -815,6 +1180,136 @@ mod tests {
                 "threads={threads} changed the deterministic section"
             );
         }
+    }
+
+    /// ≥30% drop plus duplication, 2-epoch delays and reordering — the
+    /// chaos-bench plan, scaled down.
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        plan.drop = 0.3;
+        plan.duplicate = 0.2;
+        plan.delay = 0.25;
+        plan.max_delay_epochs = 2;
+        plan.reorder = 0.2;
+        plan
+    }
+
+    #[test]
+    fn envelope_window_dedups_and_tracks_reordering() {
+        let mut w = EnvelopeWindow::default();
+        assert_eq!(w.check(0), SeqVerdict::Fresh);
+        assert_eq!(w.check(0), SeqVerdict::Duplicate);
+        assert_eq!(w.check(2), SeqVerdict::Fresh);
+        assert_eq!(w.check(1), SeqVerdict::Fresh, "reordered gap arrival");
+        assert_eq!(w.check(1), SeqVerdict::Duplicate);
+        assert_eq!(w.check(2), SeqVerdict::Duplicate);
+        assert_eq!(w.check(100), SeqVerdict::Fresh);
+        assert_eq!(w.check(36), SeqVerdict::Stale, "fell off the 64-wide window");
+        assert_eq!(w.check(37), SeqVerdict::Fresh, "still inside the window");
+    }
+
+    #[test]
+    fn faulted_rollout_completes_without_double_apply_and_is_thread_invariant() {
+        // Attacks off: this test isolates fault tolerance (the adversarial
+        // ladder is exercised separately; under ≥30% loss an attacker
+        // replaying an authentic broadcast its victim never saw is
+        // indistinguishable from the network re-delivering it — see
+        // DESIGN.md §10 on the replay-window/loss interaction).
+        let mut cfg = V2xConfig::new(6, 20, 100);
+        cfg.fleet.threads = 2;
+        cfg.attacks = false;
+        cfg.ota_retry_limit = 10;
+        cfg.inbox_capacity = Some(64);
+        cfg.faults = Some(chaos_plan(0xC405));
+        let mut a = run_v2x(&cfg);
+        let m = &a.metrics;
+        assert!(m.counter("plane.dropped") > 0, "the plan must actually drop");
+        assert!(m.counter("plane.duplicated") > 0);
+        assert!(m.counter("plane.delayed") > 0);
+        assert!(
+            m.counter("ota.retransmits") > 0,
+            "lost deliveries must be retransmitted"
+        );
+        assert_eq!(m.counter("ota.gave_up"), 0, "retry budget suffices");
+        assert_eq!(m.counter("ota.applied"), 6, "rollout completes under loss");
+        assert_eq!(m.counter("ota.version_sum"), 6, "…exactly once per vehicle");
+        assert_eq!(m.counter("ota.acks"), 6);
+        assert_eq!(a.v2x_leaked(), 0);
+        assert_eq!(m.counter("plane.inbox_overflow"), 0, "bound is generous");
+        assert!(m.counter("plane.inbox_peak") <= 64);
+        for threads in [1, 4] {
+            let mut variant = cfg.clone();
+            variant.fleet.threads = threads;
+            let mut b = run_v2x(&variant);
+            assert_eq!(
+                a.metrics.to_json(),
+                b.metrics.to_json(),
+                "threads={threads} changed the faulted deterministic section"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_envelopes_are_idempotent_and_leak_nothing() {
+        // Duplicate + reorder only (no loss): every delivery arrives, so
+        // the full adversarial rotation can run while the dedup rung keeps
+        // handlers idempotent — no OTA double-apply, no platoon flapping,
+        // and the replay window still rejects the attacker verbatim.
+        let mut cfg = tiny(5);
+        cfg.epochs = 10;
+        let mut plan = FaultPlan::new(0xD0_D0);
+        plan.duplicate = 1.0;
+        plan.reorder = 0.5;
+        cfg.faults = Some(plan);
+        let report = run_v2x(&cfg);
+        let m = &report.metrics;
+        assert!(m.counter("plane.duplicated") > 0);
+        assert!(m.counter("v2x.dedup_dropped") > 0, "duplicates die at dedup");
+        assert_eq!(report.v2x_leaked(), 0);
+        assert_eq!(m.counter("ota.applied"), 5, "no double-apply");
+        assert_eq!(m.counter("ota.version_sum"), 5);
+        assert_eq!(m.counter("v2x.degraded_entries"), 0, "no flapping without outage");
+        assert!(m.counter("v2x.attack.spoof_resume") > 0);
+    }
+
+    #[test]
+    fn lead_outage_drives_limp_home_with_hysteresis_and_spoofed_resume_fails() {
+        let mut cfg = V2xConfig::new(6, 16, 100);
+        cfg.fleet.threads = 2;
+        cfg.lead_outage = Some((4, 8));
+        let report = run_v2x(&cfg);
+        let m = &report.metrics;
+        let followers = 5; // everyone but the lead, attacker included
+        assert_eq!(m.counter("v2x.lead_outage_epochs"), 4);
+        // heartbeats heard at epochs 1..=4, missed at 5..=8 (sends 4..=7
+        // suppressed), heard again from 9: with miss_limit 3 every follower
+        // enters limp-home at epoch 7, and with clean_limit 2 exits at 10.
+        assert_eq!(m.counter("v2x.heartbeat_misses"), 4 * followers);
+        assert_eq!(m.counter("v2x.degraded_entries"), followers);
+        assert_eq!(m.counter("v2x.degraded_exits"), followers);
+        assert_eq!(m.counter("v2x.degraded_epochs"), 3 * followers);
+        // the degraded envelope reached every follower's EV-ECU through
+        // the gateway + HPE path, and was lifted again
+        assert_eq!(m.counter("v2x.ecu_degraded_events"), followers);
+        assert_eq!(m.counter("v2x.ecu_resumed_events"), followers);
+        assert_eq!(m.counter("v2x.ecu_still_degraded"), 0);
+        // the spoofed resume blast fired during the outage and died at the
+        // auth rung without touching the hysteresis
+        assert!(m.counter("v2x.attack.spoof_resume") > 0);
+        assert_eq!(report.v2x_leaked(), 0);
+        assert_eq!(m.counter("ota.applied"), 6, "rollout unaffected by outage");
+    }
+
+    #[test]
+    fn fault_free_runs_never_retransmit() {
+        let cfg = tiny(5);
+        let report = run_v2x(&cfg);
+        let m = &report.metrics;
+        assert_eq!(m.counter("ota.retransmits"), 0);
+        assert_eq!(m.counter("ota.gave_up"), 0);
+        assert_eq!(m.counter("ota.acks"), 5, "every delivery acked first try");
+        assert_eq!(m.counter("plane.dropped"), 0);
+        assert_eq!(m.counter("v2x.degraded_entries"), 0);
     }
 
     #[test]

@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn entity_ordering_is_lexical() {
-        let mut v = vec![
+        let mut v = [
             EntityId::new("zeta", "a"),
             EntityId::new("alpha", "b"),
             EntityId::new("alpha", "a"),

@@ -540,10 +540,10 @@ mod tests {
     #[test]
     fn probe_matches_inline_verdicts_without_telemetry() {
         let hpe = engine_allowing(&[0x100], &[0x300]);
-        assert_eq!(hpe.probe_read(sid(0x100)).0, true);
-        assert_eq!(hpe.probe_read(sid(0x200)).0, false);
-        assert_eq!(hpe.probe_write(sid(0x300)).0, true);
-        assert_eq!(hpe.probe_write(sid(0x100)).0, false);
+        assert!(hpe.probe_read(sid(0x100)).0);
+        assert!(!hpe.probe_read(sid(0x200)).0);
+        assert!(hpe.probe_write(sid(0x300)).0);
+        assert!(!hpe.probe_write(sid(0x100)).0);
         assert!(hpe.probe_read(sid(0x100)).1 > 0, "probe reports cycle cost");
         let t = hpe.telemetry();
         assert_eq!(

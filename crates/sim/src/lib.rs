@@ -48,7 +48,9 @@ pub mod trace;
 
 pub use event::{EventQueue, Scheduler};
 pub use metrics::{Counter, Histogram, MetricSet};
-pub use plane::{run_epochs, Address, Envelope, EpochCtx, MessagePlane, Outbox};
+pub use plane::{
+    run_epochs, run_epochs_faulted, Address, Envelope, EpochCtx, FaultPlan, MessagePlane, Outbox,
+};
 pub use rng::DetRng;
 pub use shard::run_sharded;
 pub use time::{SimDuration, SimTime};

@@ -186,6 +186,20 @@ impl MetricSet {
         }
     }
 
+    /// Raises the named counter to at least `v` — a high-water gauge.
+    ///
+    /// Intended for run-level peaks recorded once per run (e.g. the plane's
+    /// `plane.inbox_peak`). Note that [`MetricSet::merge`] *adds* counters,
+    /// so gauges should be set on the merged set rather than merged from
+    /// per-shard sets.
+    pub fn set_max(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c = (*c).max(v);
+        } else {
+            self.counters.insert(name.to_string(), v);
+        }
+    }
+
     /// Reads a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -422,6 +436,17 @@ mod tests {
         assert_eq!(m.counter("wall.elapsed_us"), 0, "moved out");
         assert!(m.histogram_mut("wall.decide_ns").is_none());
         assert!(m.histogram_mut("verdict.cycles").is_some());
+    }
+
+    #[test]
+    fn set_max_behaves_as_high_water_gauge() {
+        let mut m = MetricSet::new();
+        m.set_max("peak", 5);
+        assert_eq!(m.counter("peak"), 5);
+        m.set_max("peak", 3);
+        assert_eq!(m.counter("peak"), 5, "lower values never regress the gauge");
+        m.set_max("peak", 9);
+        assert_eq!(m.counter("peak"), 9);
     }
 
     #[test]

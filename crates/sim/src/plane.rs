@@ -16,6 +16,17 @@
 //! inbox is sorted by `(sender_shard, seq)` — a pure function of the
 //! per-shard work, never of thread scheduling.
 //!
+//! # Fault injection
+//!
+//! [`run_epochs_faulted`] accepts an optional [`FaultPlan`] that perturbs
+//! deliveries *at the barrier*: per-delivery drop, duplication,
+//! delay-by-k-epochs and inbox reordering, each decided by a generator
+//! derived purely from `(plan seed, epoch, sender, seq, receiver)` via
+//! [`DetRng::stream_keys`]. Because every decision happens in the serial
+//! barrier and keys off routing-visible identifiers only, a faulted run is
+//! exactly as thread-count-invariant as a clean one — chaos experiments
+//! replay byte-for-byte.
+//!
 //! # Example
 //! ```
 //! use polsec_sim::plane::{run_epochs, Address, MessagePlane};
@@ -44,6 +55,7 @@
 //! ```
 
 use crate::metrics::MetricSet;
+use crate::rng::DetRng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -127,14 +139,17 @@ impl<M> Outbox<M> {
 }
 
 /// Deterministic routing rules: which shards belong to which broadcast
-/// group. Routing itself happens inside [`run_epochs`] at each barrier.
+/// group, and how large a per-epoch inbox may grow. Routing itself happens
+/// inside [`run_epochs`] at each barrier.
 #[derive(Debug, Clone, Default)]
 pub struct MessagePlane {
     groups: BTreeMap<GroupId, Vec<usize>>,
+    inbox_capacity: Option<usize>,
 }
 
 impl MessagePlane {
-    /// Creates a plane with no groups (only unicast routes).
+    /// Creates a plane with no groups (only unicast routes) and unbounded
+    /// inboxes.
     pub fn new() -> Self {
         MessagePlane::default()
     }
@@ -154,6 +169,83 @@ impl MessagePlane {
     pub fn members(&self, id: GroupId) -> &[usize] {
         self.groups.get(&id).map(Vec::as_slice).unwrap_or(&[])
     }
+
+    /// Bounds every shard's per-epoch inbox to `capacity` envelopes
+    /// (minimum 1). Overflowing deliveries are dropped newest-first — the
+    /// same keep-first semantics as [`Trace`](crate::Trace) — and counted
+    /// under `plane.inbox_overflow`.
+    pub fn bound_inboxes(&mut self, capacity: usize) -> &mut Self {
+        self.inbox_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The configured inbox bound, if any.
+    pub fn inbox_capacity(&self) -> Option<usize> {
+        self.inbox_capacity
+    }
+}
+
+/// A deterministic fault-injection plan for the message plane.
+///
+/// Each delivery (one `(envelope, destination)` pair) gets its own decision
+/// stream derived from `(seed, epoch, sender, seq, receiver)`; the plan can
+/// drop the delivery, duplicate it, and delay each surviving copy by
+/// `1..=max_delay_epochs` epochs. Independently, assembled inboxes are
+/// perturbed by adjacent-pair swaps with probability `reorder` per pair.
+/// All decisions are made in the serial barrier, so a faulted run stays
+/// byte-identical at any thread count.
+///
+/// # Example
+/// ```
+/// use polsec_sim::FaultPlan;
+/// let mut plan = FaultPlan::new(42);
+/// plan.drop = 0.3;
+/// plan.delay = 0.2;
+/// plan.max_delay_epochs = 2;
+/// assert!(plan.is_active());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed for the per-delivery decision streams.
+    pub seed: u64,
+    /// Probability that a delivery is dropped entirely.
+    pub drop: f64,
+    /// Probability that a surviving delivery is duplicated (two copies).
+    pub duplicate: f64,
+    /// Probability that each surviving copy is delayed.
+    pub delay: f64,
+    /// Upper bound on the delay, in epochs (a delayed copy arrives
+    /// uniformly `1..=max_delay_epochs` epochs late). `0` disables delays.
+    pub max_delay_epochs: u32,
+    /// Probability of swapping each adjacent envelope pair in an assembled
+    /// inbox.
+    pub reorder: f64,
+}
+
+impl FaultPlan {
+    /// Salt separating the per-inbox reorder streams from the per-delivery
+    /// decision streams.
+    const REORDER_SALT: u64 = 0xD15C_04D3_5EED_0001;
+
+    /// A plan with the given seed and every fault probability zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_epochs: 0,
+            reorder: 0.0,
+        }
+    }
+
+    /// Whether the plan can ever perturb a delivery.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || (self.delay > 0.0 && self.max_delay_epochs > 0)
+            || self.reorder > 0.0
+    }
 }
 
 /// Counters the barrier accumulates while routing.
@@ -161,30 +253,123 @@ impl MessagePlane {
 struct PlaneStats {
     sent: u64,
     delivered: u64,
-    dropped: u64,
+    unroutable: u64,
+    fault_dropped: u64,
+    duplicated: u64,
+    delayed: u64,
+    reordered: u64,
+    inbox_overflow: u64,
+    inbox_peak: u64,
 }
 
-/// Routes one epoch's outboxes (given in shard order) into fresh inboxes.
-/// Inboxes come out sorted by `(from, seq)` by construction.
+/// Mail scheduled by the fault plan for a future epoch, keyed by delivery
+/// epoch. Within one epoch, entries keep barrier insertion order.
+type PendingMail<M> = BTreeMap<u64, Vec<(usize, Envelope<M>)>>;
+
+/// Appends `env` to `dst`'s inbox, honouring the inbox bound
+/// (keep-first/drop-newest).
+fn deliver<M>(
+    inboxes: &mut [Vec<Envelope<M>>],
+    dst: usize,
+    env: Envelope<M>,
+    cap: usize,
+    stats: &mut PlaneStats,
+) {
+    let inbox = &mut inboxes[dst];
+    if inbox.len() >= cap {
+        stats.inbox_overflow += 1;
+    } else {
+        stats.delivered += 1;
+        inbox.push(env);
+    }
+}
+
+/// Applies the fault plan to one delivery: drop, duplicate, then delay each
+/// surviving copy. Immediate copies land in `inboxes`; delayed copies are
+/// parked in `pending` under their target epoch.
+#[allow(clippy::too_many_arguments)] // barrier plumbing: all state is threaded explicitly
+fn fault_deliver<M: Clone>(
+    faults: Option<&FaultPlan>,
+    epoch: u64,
+    cap: usize,
+    inboxes: &mut [Vec<Envelope<M>>],
+    pending: &mut PendingMail<M>,
+    stats: &mut PlaneStats,
+    dst: usize,
+    env: Envelope<M>,
+) {
+    let Some(plan) = faults else {
+        deliver(inboxes, dst, env, cap, stats);
+        return;
+    };
+    let mut rng = DetRng::stream_keys(
+        plan.seed,
+        &[epoch, env.from as u64, u64::from(env.seq), dst as u64],
+    );
+    if rng.chance(plan.drop) {
+        stats.fault_dropped += 1;
+        return;
+    }
+    let copies = if rng.chance(plan.duplicate) {
+        stats.duplicated += 1;
+        2
+    } else {
+        1
+    };
+    for _ in 0..copies {
+        let delayed_by = if plan.max_delay_epochs > 0 && rng.chance(plan.delay) {
+            rng.range_inclusive(1, u64::from(plan.max_delay_epochs))
+        } else {
+            0
+        };
+        if delayed_by == 0 {
+            deliver(inboxes, dst, env.clone(), cap, stats);
+        } else {
+            stats.delayed += 1;
+            // This barrier builds the inboxes for epoch+1; a copy delayed
+            // by k lands k epochs after that.
+            pending
+                .entry(epoch + 1 + delayed_by)
+                .or_default()
+                .push((dst, env.clone()));
+        }
+    }
+}
+
+/// Routes one epoch's outboxes (given in shard order) into fresh inboxes,
+/// applying the fault plan per delivery. Without a fault plan, inboxes come
+/// out sorted by `(from, seq)` by construction.
+#[allow(clippy::too_many_arguments)] // serial barrier internals, not API
 fn route<M: Clone>(
     plane: &MessagePlane,
     shards: usize,
+    epoch: u64,
+    faults: Option<&FaultPlan>,
     outboxes: Vec<Outbox<M>>,
     inboxes: &mut [Vec<Envelope<M>>],
+    pending: &mut PendingMail<M>,
     stats: &mut PlaneStats,
 ) {
     for inbox in inboxes.iter_mut() {
         inbox.clear();
+    }
+    let cap = plane.inbox_capacity.unwrap_or(usize::MAX);
+    // Delayed mail due now is delivered first (in the deterministic order it
+    // was parked), ahead of this barrier's fresh mail — late arrivals
+    // jumping the queue is the observable effect of a delay fault.
+    if let Some(due) = pending.remove(&(epoch + 1)) {
+        for (dst, env) in due {
+            deliver(inboxes, dst, env, cap, stats);
+        }
     }
     for outbox in outboxes {
         for env in outbox.mail {
             stats.sent += 1;
             match env.to {
                 Address::Unicast(dst) if dst < shards => {
-                    stats.delivered += 1;
-                    inboxes[dst].push(env);
+                    fault_deliver(faults, epoch, cap, inboxes, pending, stats, dst, env);
                 }
-                Address::Unicast(_) => stats.dropped += 1,
+                Address::Unicast(_) => stats.unroutable += 1,
                 Address::Broadcast(group) => {
                     let members = plane.members(group);
                     let mut hit = false;
@@ -193,19 +378,54 @@ fn route<M: Clone>(
                             continue;
                         }
                         hit = true;
-                        stats.delivered += 1;
-                        inboxes[dst].push(env.clone());
+                        fault_deliver(
+                            faults,
+                            epoch,
+                            cap,
+                            inboxes,
+                            pending,
+                            stats,
+                            dst,
+                            env.clone(),
+                        );
                     }
                     if !hit {
-                        stats.dropped += 1;
+                        stats.unroutable += 1;
                     }
                 }
             }
         }
     }
-    debug_assert!(inboxes.iter().all(|inbox| inbox
-        .windows(2)
-        .all(|w| (w[0].from, w[0].seq) < (w[1].from, w[1].seq))));
+    // Explicit reordering: one deterministic adjacent-swap pass per inbox,
+    // keyed by (seed, epoch, receiver) so it is independent of traffic.
+    if let Some(plan) = faults {
+        if plan.reorder > 0.0 {
+            for (dst, inbox) in inboxes.iter_mut().enumerate() {
+                if inbox.len() < 2 {
+                    continue;
+                }
+                let mut rng = DetRng::stream_keys(
+                    plan.seed ^ FaultPlan::REORDER_SALT,
+                    &[epoch, dst as u64],
+                );
+                for i in 1..inbox.len() {
+                    if rng.chance(plan.reorder) {
+                        inbox.swap(i - 1, i);
+                        stats.reordered += 1;
+                    }
+                }
+            }
+        }
+    }
+    for inbox in inboxes.iter() {
+        stats.inbox_peak = stats.inbox_peak.max(inbox.len() as u64);
+    }
+    debug_assert!(
+        faults.is_some()
+            || inboxes.iter().all(|inbox| inbox
+                .windows(2)
+                .all(|w| (w[0].from, w[0].seq) < (w[1].from, w[1].seq)))
+    );
 }
 
 /// What one shard sees during one epoch.
@@ -239,8 +459,9 @@ pub struct EpochCtx<'a, M> {
 /// `plane.undelivered`.
 ///
 /// The merged result additionally carries `plane.sent`, `plane.delivered`,
-/// `plane.dropped` (unroutable addresses / empty broadcast audiences) and
-/// `plane.epochs` — all deterministic.
+/// `plane.unroutable` (unroutable addresses / empty broadcast audiences)
+/// and `plane.epochs` — all deterministic. This is the fault-free
+/// convenience wrapper over [`run_epochs_faulted`].
 ///
 /// # Determinism
 /// As with [`run_sharded`](crate::shard::run_sharded), the merged metrics
@@ -267,6 +488,41 @@ where
     Step: Fn(&mut S, &mut EpochCtx<'_, M>) + Sync,
     Fin: Fn(S, &mut MetricSet) + Sync,
 {
+    run_epochs_faulted(shards, threads, epochs, plane, None, init, step, finish)
+}
+
+/// [`run_epochs`] with an optional deterministic [`FaultPlan`] applied at
+/// every barrier.
+///
+/// On top of the fault-free counters, the merged result carries the fault
+/// accounting — `plane.dropped` (fault drops), `plane.duplicated`,
+/// `plane.delayed`, `plane.reordered` — plus `plane.inbox_overflow` and the
+/// `plane.inbox_peak` high-water gauge for bounded inboxes. Delayed copies
+/// still parked when the run ends count as `plane.undelivered` alongside
+/// final-epoch mail.
+///
+/// Fault decisions key off `(plan seed, epoch, sender, seq, receiver)` and
+/// run in the serial barrier, so the determinism contract of
+/// [`run_epochs`] — byte-identical merged metrics and inboxes at any
+/// thread count — holds under any plan.
+#[allow(clippy::too_many_arguments)] // one optional plan over the stable run_epochs shape
+pub fn run_epochs_faulted<S, M, Init, Step, Fin>(
+    shards: usize,
+    threads: usize,
+    epochs: u64,
+    plane: &MessagePlane,
+    faults: Option<&FaultPlan>,
+    init: Init,
+    step: Step,
+    finish: Fin,
+) -> MetricSet
+where
+    S: Send,
+    M: Clone + Send + Sync,
+    Init: Fn(usize) -> S + Sync,
+    Step: Fn(&mut S, &mut EpochCtx<'_, M>) + Sync,
+    Fin: Fn(S, &mut MetricSet) + Sync,
+{
     let threads = match threads {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
@@ -276,6 +532,7 @@ where
     let states: Vec<Mutex<Option<S>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let mut inboxes: Vec<Vec<Envelope<M>>> = (0..shards).map(|_| Vec::new()).collect();
     let mut next_seqs: Vec<u32> = vec![0; shards];
+    let mut pending: PendingMail<M> = PendingMail::new();
     let mut stats = PlaneStats::default();
 
     for epoch in 0..epochs {
@@ -318,10 +575,20 @@ where
                 outbox
             })
             .collect();
-        route(plane, shards, collected, &mut inboxes, &mut stats);
+        route(
+            plane,
+            shards,
+            epoch,
+            faults,
+            collected,
+            &mut inboxes,
+            &mut pending,
+            &mut stats,
+        );
     }
 
-    let undelivered: u64 = inboxes.iter().map(|inbox| inbox.len() as u64).sum();
+    let parked: u64 = pending.values().map(|v| v.len() as u64).sum();
+    let undelivered: u64 = inboxes.iter().map(|inbox| inbox.len() as u64).sum::<u64>() + parked;
 
     let mut merged = MetricSet::new();
     for (i, slot) in states.into_iter().enumerate() {
@@ -335,9 +602,15 @@ where
     }
     merged.count("plane.sent", stats.sent);
     merged.count("plane.delivered", stats.delivered);
-    merged.count("plane.dropped", stats.dropped);
+    merged.count("plane.unroutable", stats.unroutable);
+    merged.count("plane.dropped", stats.fault_dropped);
+    merged.count("plane.duplicated", stats.duplicated);
+    merged.count("plane.delayed", stats.delayed);
+    merged.count("plane.reordered", stats.reordered);
+    merged.count("plane.inbox_overflow", stats.inbox_overflow);
     merged.count("plane.undelivered", undelivered);
     merged.count("plane.epochs", epochs);
+    merged.set_max("plane.inbox_peak", stats.inbox_peak);
     merged
 }
 
@@ -471,7 +744,7 @@ mod tests {
     }
 
     #[test]
-    fn unroutable_mail_is_counted_dropped() {
+    fn unroutable_mail_is_counted() {
         let plane = MessagePlane::new(); // no groups registered
         let merged = run_epochs(
             2,
@@ -486,8 +759,9 @@ mod tests {
             |_, _| {},
         );
         assert_eq!(merged.counter("plane.sent"), 8);
-        assert_eq!(merged.counter("plane.dropped"), 8);
+        assert_eq!(merged.counter("plane.unroutable"), 8);
         assert_eq!(merged.counter("plane.delivered"), 0);
+        assert_eq!(merged.counter("plane.dropped"), 0, "no fault plan, no fault drops");
     }
 
     #[test]
@@ -515,6 +789,286 @@ mod tests {
         assert_eq!(a.counter("plane.sent"), 0);
         let b = run_epochs::<(), u8, _, _, _>(0, 2, 3, &plane, |_| (), |_, _| {}, |_, _| {});
         assert_eq!(b.counter("plane.epochs"), 3);
+    }
+
+    /// Digest run with a chaotic fault plan: ≥30% drop, duplication,
+    /// 2-epoch delays and reordering all at once.
+    fn chaotic_plan() -> FaultPlan {
+        let mut plan = FaultPlan::new(0xFA_117);
+        plan.drop = 0.35;
+        plan.duplicate = 0.25;
+        plan.delay = 0.30;
+        plan.max_delay_epochs = 2;
+        plan.reorder = 0.20;
+        plan
+    }
+
+    fn faulted_digest_run(shards: usize, threads: usize, epochs: u64) -> String {
+        let mut plane = MessagePlane::new();
+        plane.group(7, 0..shards);
+        let mut merged = run_epochs_faulted(
+            shards,
+            threads,
+            epochs,
+            &plane,
+            Some(&chaotic_plan()),
+            |shard| (shard, 0u64),
+            |state, ctx| {
+                for env in ctx.inbox {
+                    state.1 = state
+                        .1
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add((env.from as u64) << 32 | u64::from(env.seq))
+                        .wrapping_add(u64::from(env.msg));
+                }
+                ctx.outbox.broadcast(7, ctx.shard as u32);
+                ctx.outbox.unicast((ctx.shard + 1) % shards.max(1), 777);
+            },
+            |state, m| {
+                m.observe("digest", state.1 & 0xFFFF_FFFF);
+            },
+        );
+        merged.to_json()
+    }
+
+    #[test]
+    fn faulted_runs_are_thread_count_invariant() {
+        let reference = faulted_digest_run(9, 1, 6);
+        for threads in [2, 4, 16] {
+            assert_eq!(faulted_digest_run(9, threads, 6), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn faulted_run_actually_faults_and_accounts_for_every_delivery() {
+        let json = faulted_digest_run(9, 2, 6);
+        // Re-run to a MetricSet for counter access (same pure function).
+        let mut plane = MessagePlane::new();
+        plane.group(7, 0..9);
+        let merged = run_epochs_faulted(
+            9,
+            2,
+            6,
+            &plane,
+            Some(&chaotic_plan()),
+            |shard| shard,
+            |_, ctx| {
+                ctx.outbox.broadcast(7, 0u32);
+                ctx.outbox.unicast((ctx.shard + 1) % 9, 777);
+            },
+            |_, _| {},
+        );
+        assert!(!json.is_empty());
+        for key in ["plane.dropped", "plane.duplicated", "plane.delayed", "plane.reordered"] {
+            assert!(merged.counter(key) > 0, "{key} never fired under a 30%+ plan");
+        }
+        // Conservation: every routed delivery attempt is delivered now or
+        // dropped; delayed copies still parked at the end sit inside
+        // plane.undelivered, delivered ones were counted on arrival.
+        let attempts = merged.counter("plane.delivered") + merged.counter("plane.dropped");
+        assert!(attempts > 0);
+    }
+
+    #[test]
+    fn inactive_fault_plan_matches_fault_free_run() {
+        let clean = digest_run(6, 2, 4);
+        let mut plane = MessagePlane::new();
+        plane.group(7, 0..6);
+        let inert = FaultPlan::new(123);
+        assert!(!inert.is_active());
+        let mut merged = run_epochs_faulted(
+            6,
+            2,
+            4,
+            &plane,
+            Some(&inert),
+            |shard| (shard, 0u64),
+            |state, ctx| {
+                for env in ctx.inbox {
+                    state.1 = state
+                        .1
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add((env.from as u64) << 32 | u64::from(env.seq))
+                        .wrapping_add(u64::from(env.msg));
+                }
+                ctx.outbox.broadcast(7, ctx.shard as u32);
+                if ctx.shard + 1 < ctx.epochs as usize {
+                    ctx.outbox.unicast(ctx.shard + 1, 999);
+                }
+            },
+            |state, m| {
+                m.observe("digest", state.1 & 0xFFFF_FFFF);
+                m.count("shards", 1);
+            },
+        );
+        assert_eq!(merged.to_json(), clean, "a zero-probability plan must be a no-op");
+    }
+
+    #[test]
+    fn delayed_mail_arrives_exactly_k_epochs_late() {
+        let plane = MessagePlane::new();
+        let mut plan = FaultPlan::new(1);
+        plan.delay = 1.0;
+        plan.max_delay_epochs = 1; // every delivery delayed by exactly 1 epoch
+        let merged = run_epochs_faulted(
+            2,
+            1,
+            4,
+            &plane,
+            Some(&plan),
+            |_| Vec::new(),
+            |arrivals: &mut Vec<(u64, u32)>, ctx| {
+                for env in ctx.inbox {
+                    arrivals.push((ctx.epoch, env.seq));
+                }
+                if ctx.epoch == 0 {
+                    ctx.outbox.unicast(1 - ctx.shard, 0u8);
+                }
+            },
+            |arrivals, m| {
+                for (epoch, _) in &arrivals {
+                    // sent in epoch 0, normal arrival would be epoch 1;
+                    // a 1-epoch delay makes it epoch 2.
+                    assert_eq!(*epoch, 2, "delayed delivery landed in epoch {epoch}");
+                }
+                m.count("arrived", arrivals.len() as u64);
+            },
+        );
+        assert_eq!(merged.counter("arrived"), 2);
+        assert_eq!(merged.counter("plane.delayed"), 2);
+        assert_eq!(merged.counter("plane.dropped"), 0);
+    }
+
+    #[test]
+    fn duplicated_mail_is_delivered_twice_and_counted() {
+        let plane = MessagePlane::new();
+        let mut plan = FaultPlan::new(2);
+        plan.duplicate = 1.0;
+        let merged = run_epochs_faulted(
+            2,
+            1,
+            2,
+            &plane,
+            Some(&plan),
+            |_| 0u64,
+            |heard, ctx| {
+                *heard += ctx.inbox.len() as u64;
+                if ctx.epoch == 0 {
+                    ctx.outbox.unicast(1 - ctx.shard, 0u8);
+                }
+            },
+            |heard, m| m.count("heard", heard),
+        );
+        assert_eq!(merged.counter("heard"), 4, "each unicast arrives twice");
+        assert_eq!(merged.counter("plane.duplicated"), 2);
+        assert_eq!(merged.counter("plane.delivered"), 4);
+        assert_eq!(merged.counter("plane.sent"), 2);
+    }
+
+    #[test]
+    fn reorder_permutes_but_preserves_the_inbox_multiset() {
+        let mut plane = MessagePlane::new();
+        plane.group(1, 0..5);
+        let mut plan = FaultPlan::new(3);
+        plan.reorder = 1.0; // every adjacent pair swaps: a full bubble pass
+        let merged = run_epochs_faulted(
+            5,
+            2,
+            3,
+            &plane,
+            Some(&plan),
+            |_| (0u64, 0u64),
+            |(seen, out_of_order), ctx| {
+                let keys: Vec<(usize, u32)> = ctx.inbox.iter().map(|e| (e.from, e.seq)).collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), keys.len(), "reorder must not lose or clone mail");
+                if keys.windows(2).any(|w| w[0] > w[1]) {
+                    *out_of_order += 1;
+                }
+                *seen += keys.len() as u64;
+                ctx.outbox.broadcast(1, ctx.shard as u32);
+            },
+            |(seen, out_of_order), m| {
+                m.count("seen", seen);
+                m.count("out_of_order_epochs", out_of_order);
+            },
+        );
+        // 5 shards broadcasting to 4 others for 2 consumable epochs.
+        assert_eq!(merged.counter("seen"), 5 * 4 * 2);
+        assert!(merged.counter("out_of_order_epochs") > 0, "full swap pass must disorder");
+        assert!(merged.counter("plane.reordered") > 0);
+    }
+
+    #[test]
+    fn bounded_inboxes_keep_first_and_count_overflow() {
+        let mut plane = MessagePlane::new();
+        plane.group(1, 0..4).bound_inboxes(2);
+        assert_eq!(plane.inbox_capacity(), Some(2));
+        let merged = run_epochs(
+            4,
+            2,
+            3,
+            &plane,
+            |_| 0u64,
+            |heard, ctx| {
+                assert!(ctx.inbox.len() <= 2, "inbox exceeded its bound");
+                if !ctx.inbox.is_empty() {
+                    // keep-first: the two lowest-(from, seq) broadcasts —
+                    // the first two other shards — survive; the last
+                    // sender's mail is the one dropped.
+                    let kept: Vec<usize> = ctx.inbox.iter().map(|e| e.from).collect();
+                    let expect: Vec<usize> =
+                        (0..4).filter(|&f| f != ctx.shard).take(2).collect();
+                    assert_eq!(kept, expect, "drop-newest kept the wrong envelopes");
+                }
+                *heard += ctx.inbox.len() as u64;
+                ctx.outbox.broadcast(1, 0u8);
+            },
+            |heard, m| m.count("heard", heard),
+        );
+        // Each of 4 shards hears 3 broadcasts per epoch unbounded; bound 2
+        // keeps 2, drops 1, for 2 consumable epochs.
+        assert_eq!(merged.counter("heard"), 4 * 2 * 2);
+        assert_eq!(merged.counter("plane.inbox_overflow"), 4 * 3);
+        assert_eq!(merged.counter("plane.inbox_peak"), 2);
+    }
+
+    #[test]
+    fn fault_decisions_are_pinned() {
+        // Known-answer: the exact drop/duplicate/delay pattern of a pinned
+        // plan over a pinned workload. If DetRng::stream_keys or the
+        // decision order changes, replayed chaos experiments silently
+        // diverge — this test makes that loud.
+        let mut plane = MessagePlane::new();
+        plane.group(7, 0..4);
+        let merged = run_epochs_faulted(
+            4,
+            1,
+            5,
+            &plane,
+            Some(&chaotic_plan()),
+            |shard| shard,
+            |_, ctx| {
+                ctx.outbox.broadcast(7, ctx.shard as u32);
+            },
+            |_, _| {},
+        );
+        let snapshot: Vec<(String, u64)> = merged
+            .counters()
+            .filter(|(k, _)| k.starts_with("plane."))
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let got = format!("{snapshot:?}");
+        assert_eq!(
+            got,
+            "[(\"plane.delayed\", 16), (\"plane.delivered\", 44), (\"plane.dropped\", 15), \
+             (\"plane.duplicated\", 6), (\"plane.epochs\", 5), (\"plane.inbox_overflow\", 0), \
+             (\"plane.inbox_peak\", 4), (\"plane.reordered\", 2), (\"plane.sent\", 20), \
+             (\"plane.undelivered\", 15), (\"plane.unroutable\", 0)]",
+            "pinned fault plan decisions moved"
+        );
     }
 
     #[test]

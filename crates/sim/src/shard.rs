@@ -62,10 +62,8 @@ where
     });
 
     let mut merged = MetricSet::new();
-    for slot in slots.into_inner().unwrap_or_else(|e| e.into_inner()) {
-        if let Some(m) = slot {
-            merged.merge(&m);
-        }
+    for m in slots.into_inner().unwrap_or_else(|e| e.into_inner()).into_iter().flatten() {
+        merged.merge(&m);
     }
     merged
 }
@@ -127,6 +125,6 @@ mod tests {
             m.count("sum", i as u64);
             m
         });
-        assert_eq!(merged.counter("sum"), 0 + 1 + 2 + 3);
+        assert_eq!(merged.counter("sum"), 1 + 2 + 3);
     }
 }

@@ -108,7 +108,8 @@ impl Trace {
 
     /// Whether the record with sequence number `seq` survives the sampler.
     fn keeps(&self, seq: u64) -> bool {
-        self.sample_every <= 1 || splitmix64_mix(self.sample_seed ^ seq) % self.sample_every == 0
+        self.sample_every <= 1
+            || splitmix64_mix(self.sample_seed ^ seq).is_multiple_of(self.sample_every)
     }
 
     /// Offers a record with a lazily-built detail string. The closure runs
