@@ -1,0 +1,100 @@
+//! Lint exported AVC entries against fresh policy answers.
+//!
+//! The MAC layer's access-vector cache serves verdicts without consulting
+//! the policy. [`polsec_mac::Avc::export_entries`] decompiles the live
+//! cache for audit; this lint replays every exported key through
+//! [`polsec_mac::MacPolicy::allows`] and reports any disagreement. A stale
+//! entry is an `Error`: it means cached verdicts — possibly grants — that
+//! the loaded policy no longer stands behind (a missed generation bump, a
+//! corrupted entry, or an incomplete reload).
+
+use crate::finding::{Finding, FindingKind, Report, Severity};
+use polsec_mac::{AvcExportEntry, MacPolicy};
+
+/// Compares each exported cache entry's verdict with a fresh policy
+/// lookup; any divergence is a [`FindingKind::StaleAvcEntry`] error.
+pub fn lint_avc(policy: &MacPolicy, entries: &[AvcExportEntry]) -> Report {
+    let mut report = Report::new();
+    for e in entries {
+        let fresh = policy.allows(
+            e.source.as_str(),
+            e.target.as_str(),
+            e.class.as_str(),
+            e.perm.as_str(),
+        );
+        if fresh != e.vector.allowed {
+            report.push(Finding {
+                kind: FindingKind::StaleAvcEntry,
+                severity: Severity::Error,
+                rule_ids: Vec::new(),
+                witness: format!(
+                    "{} -> {} ({}:{})",
+                    e.source.as_str(),
+                    e.target.as_str(),
+                    e.class.as_str(),
+                    e.perm.as_str()
+                ),
+                explanation: format!(
+                    "the cache serves allowed={} but the loaded policy answers \
+                     allowed={fresh}; a stale vector means enforcement decisions the \
+                     policy no longer stands behind",
+                    e.vector.allowed
+                ),
+            });
+        }
+    }
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polsec_mac::{Avc, PolicyModule, TeRule};
+
+    fn tiny_policy() -> MacPolicy {
+        let mut module = PolicyModule::new("tiny", 1);
+        module
+            .declare_type("ecu_t")
+            .declare_type("sensor_t")
+            .add_allow(TeRule::allow("ecu_t", "sensor_t", "can_msg", &["read"]));
+        let mut p = MacPolicy::new();
+        p.load_module(module).expect("tiny module links");
+        p
+    }
+
+    #[test]
+    fn consistent_cache_lints_clean() {
+        let policy = tiny_policy();
+        let generation = policy.generation();
+        let mut avc = Avc::new();
+        avc.insert("ecu_t", "sensor_t", "can_msg", "read", generation, true);
+        avc.insert("ecu_t", "sensor_t", "can_msg", "write", generation, false);
+        let entries = avc.export_entries(generation);
+        assert_eq!(entries.len(), 2);
+        assert!(lint_avc(&policy, &entries).is_clean());
+    }
+
+    #[test]
+    fn diverging_entry_is_an_error() {
+        let policy = tiny_policy();
+        let generation = policy.generation();
+        let mut avc = Avc::new();
+        avc.insert("ecu_t", "sensor_t", "can_msg", "read", generation, true);
+        let entries = avc.export_entries(generation);
+        // Lint against a policy that no longer grants the cached vector —
+        // the shape of a reload that forgot to bump the generation.
+        let empty = MacPolicy::new();
+        let report = lint_avc(&empty, &entries);
+        assert_eq!(report.of_kind(FindingKind::StaleAvcEntry).len(), 1);
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert!(report.findings[0].witness.contains("ecu_t -> sensor_t"));
+    }
+
+    #[test]
+    fn empty_export_is_clean() {
+        let policy = tiny_policy();
+        let avc = Avc::new();
+        assert!(lint_avc(&policy, &avc.export_entries(0)).is_clean());
+    }
+}

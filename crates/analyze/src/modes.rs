@@ -1,0 +1,123 @@
+//! Mode-transition graphs for reachability analysis.
+//!
+//! A rule guarded by `mode == "factory"` is dead on a vehicle whose
+//! security model can never enter a mode of that name. The graph is the
+//! analyzer's model of the *dynamic* mode machine: nodes are mode names,
+//! edges are legitimate transitions, and reachability from the initial
+//! mode defines the universe the satisfiability check uses.
+
+use polsec_car::CarMode;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A directed graph of operating-mode transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeGraph {
+    initial: String,
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl ModeGraph {
+    /// An empty graph whose only (trivially reachable) mode is `initial`.
+    pub fn new(initial: impl Into<String>) -> Self {
+        let initial = initial.into();
+        let mut edges = BTreeMap::new();
+        edges.insert(initial.clone(), BTreeSet::new());
+        ModeGraph { initial, edges }
+    }
+
+    /// Declares a mode with no transitions yet (it may end up unreachable).
+    pub fn add_mode(&mut self, mode: impl Into<String>) -> &mut Self {
+        self.edges.entry(mode.into()).or_default();
+        self
+    }
+
+    /// Adds a transition; both endpoints are declared implicitly.
+    pub fn add_transition(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> &mut Self {
+        let to = to.into();
+        self.edges.entry(to.clone()).or_default();
+        self.edges.entry(from.into()).or_default().insert(to);
+        self
+    }
+
+    /// The car's mode machine (paper §V): Normal ↔ Remote Diagnostic, any
+    /// mode escalates to Fail-safe, Fail-safe de-escalates to Normal only.
+    /// Built from [`CarMode::can_transition_to`], so the analyzer and the
+    /// simulated vehicles can never drift apart.
+    pub fn car() -> Self {
+        let mut g = ModeGraph::new(CarMode::default().name());
+        for a in CarMode::ALL {
+            for b in CarMode::ALL {
+                if a != b && a.can_transition_to(b) {
+                    g.add_transition(a.name(), b.name());
+                }
+            }
+        }
+        g
+    }
+
+    /// The initial mode.
+    pub fn initial(&self) -> &str {
+        &self.initial
+    }
+
+    /// Every declared mode name.
+    pub fn modes(&self) -> BTreeSet<String> {
+        self.edges.keys().cloned().collect()
+    }
+
+    /// Modes reachable from the initial mode (including itself).
+    pub fn reachable(&self) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([self.initial.clone()]);
+        while let Some(m) = queue.pop_front() {
+            if !seen.insert(m.clone()) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&m) {
+                queue.extend(next.iter().cloned());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn car_graph_reaches_all_three_modes() {
+        let g = ModeGraph::car();
+        let r = g.reachable();
+        assert_eq!(g.initial(), "normal");
+        assert_eq!(
+            r.into_iter().collect::<Vec<_>>(),
+            vec!["fail-safe".to_string(), "normal".into(), "remote diagnostic".into()]
+        );
+    }
+
+    #[test]
+    fn declared_but_unlinked_modes_are_unreachable() {
+        let mut g = ModeGraph::new("normal");
+        g.add_mode("factory");
+        g.add_transition("normal", "fail-safe");
+        let r = g.reachable();
+        assert!(r.contains("normal"));
+        assert!(r.contains("fail-safe"));
+        assert!(!r.contains("factory"));
+        assert!(g.modes().contains("factory"));
+    }
+
+    #[test]
+    fn reachability_follows_edge_direction() {
+        let mut g = ModeGraph::new("a");
+        g.add_transition("b", "a"); // wrong way round
+        assert!(!g.reachable().contains("b"));
+        g.add_transition("a", "b");
+        assert!(g.reachable().contains("b"));
+    }
+}

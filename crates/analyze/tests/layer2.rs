@@ -1,0 +1,190 @@
+//! Layer-2 integration tests: rung-removal experiments over the fleet
+//! enforcement ladder. Each experiment removes rungs from the shipped
+//! configuration and asserts the analyzer reports exactly the coverage
+//! holes that removal opens — the static counterpart of the paper's
+//! Table I attack rows.
+
+use polsec_analyze::{
+    analyze_ladder, Direction, FindingKind, LadderSpec, OriginClass, RungOutcome, Severity,
+};
+use polsec_car::messages::{
+    ECU_COMMAND, EPS_COMMAND, MODEM_CONTROL, V2X_HEALTH, V2X_LEAD,
+};
+use polsec_car::{car_policy, FleetEnforcement};
+use polsec_core::PolicySet;
+
+/// The attack rows (id, direction) of every `Error` coverage hole.
+fn error_holes(spec: &LadderSpec) -> Vec<(u16, Direction, OriginClass)> {
+    let result = analyze_ladder(spec);
+    let mut holes: Vec<_> = result
+        .matrix
+        .iter()
+        .filter(|row| row.origin != OriginClass::Legit && !row.covered)
+        .map(|row| (row.id, row.direction, row.origin))
+        .collect();
+    holes.sort_by_key(|(id, d, _)| (*id, format!("{d}")));
+    // Cross-check against the findings themselves.
+    assert_eq!(
+        result.report.of_kind(FindingKind::CoverageHole).len(),
+        holes.len(),
+        "matrix and findings disagree:\n{}",
+        result.report.to_text()
+    );
+    holes
+}
+
+#[test]
+fn shipped_fleet_covers_every_attack_row() {
+    let result = analyze_ladder(&LadderSpec::shipped());
+    assert_eq!(result.report.count(Severity::Error), 0, "{}", result.report.to_text());
+    assert_eq!(result.report.count(Severity::Warning), 0, "{}", result.report.to_text());
+    for row in &result.matrix {
+        if row.origin != OriginClass::Legit {
+            assert!(row.covered, "attack row uncovered: {}", row.witness());
+        }
+    }
+}
+
+#[test]
+fn removing_the_node_hpes_opens_local_holes() {
+    // The node HPE is the only rung that sees segment-local traffic: an
+    // inside implant (compromised door-locks node spoofing the safety
+    // system) and local modem takeover frames never cross the gateway.
+    let spec = LadderSpec::with_enforcement(FleetEnforcement {
+        node_hpe: false,
+        ..FleetEnforcement::baseline()
+    });
+    let holes = error_holes(&spec);
+    assert_eq!(
+        holes,
+        vec![
+            (ECU_COMMAND, Direction::LocalA, OriginClass::InsideImplant),
+            (MODEM_CONTROL, Direction::LocalB, OriginClass::ExternalObd),
+        ],
+        "node-HPE removal must expose exactly the two local attack rows"
+    );
+}
+
+#[test]
+fn gateway_and_segment_rungs_are_individually_redundant() {
+    // The redundancy finding claims either crossing rung alone suffices;
+    // removing one (but not both) must therefore open no Error hole, with
+    // the removed rung showing NotApplicable across the matrix.
+    for (name, enforcement) in [
+        (
+            "gateway off",
+            FleetEnforcement { gateway_whitelist: false, ..FleetEnforcement::baseline() },
+        ),
+        (
+            "segment off",
+            FleetEnforcement { segment_hpe: false, ..FleetEnforcement::baseline() },
+        ),
+    ] {
+        let spec = LadderSpec::with_enforcement(enforcement);
+        let result = analyze_ladder(&spec);
+        assert_eq!(
+            result.report.count(Severity::Error),
+            0,
+            "{name}: {}",
+            result.report.to_text()
+        );
+        for row in &result.matrix {
+            let removed = if enforcement.gateway_whitelist {
+                row.outcomes.segment
+            } else {
+                row.outcomes.gateway
+            };
+            assert_eq!(removed, RungOutcome::NotApplicable, "{name}: {}", row.witness());
+        }
+        // With only one crossing rung left the redundancy note disappears.
+        assert!(
+            result.report.of_kind(FindingKind::RedundantRule).is_empty(),
+            "{name}: redundancy requires both rungs"
+        );
+    }
+}
+
+#[test]
+fn removing_both_crossing_rungs_opens_the_spoofed_command_holes() {
+    // With neither the gateway whitelist nor the segment HPEs, spoofed
+    // powertrain commands from the OBD dongle cross into segment A
+    // unhindered; only the alarm frame is still stopped by the victim
+    // node's HPE.
+    let spec = LadderSpec::with_enforcement(FleetEnforcement {
+        gateway_whitelist: false,
+        segment_hpe: false,
+        ..FleetEnforcement::baseline()
+    });
+    let holes = error_holes(&spec);
+    assert_eq!(
+        holes,
+        vec![
+            (ECU_COMMAND, Direction::BtoA, OriginClass::ExternalObd),
+            (EPS_COMMAND, Direction::BtoA, OriginClass::ExternalObd),
+        ]
+    );
+}
+
+#[test]
+fn the_unprotected_fleet_leaks_every_attack_row() {
+    let holes = error_holes(&LadderSpec::with_enforcement(FleetEnforcement::none()));
+    assert_eq!(holes.len(), 5, "all four external rows plus the implant leak");
+    assert!(holes.contains(&(ECU_COMMAND, Direction::LocalA, OriginClass::InsideImplant)));
+}
+
+#[test]
+fn coverage_holes_name_the_enabled_rungs() {
+    let spec = LadderSpec::with_enforcement(FleetEnforcement {
+        node_hpe: false,
+        ..FleetEnforcement::baseline()
+    });
+    let result = analyze_ladder(&spec);
+    let holes = result.report.of_kind(FindingKind::CoverageHole);
+    assert!(!holes.is_empty());
+    for f in holes {
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(
+            f.rule_ids,
+            vec!["gateway-whitelist", "segment-hpe"],
+            "a hole lists exactly the rungs that were on and still missed it"
+        );
+    }
+}
+
+#[test]
+fn whitelist_entries_dead_under_the_policy_are_flagged() {
+    // Replace the fleet's shared policy set (car + v2x-boundary) with the
+    // bare car policy: the gateway still forwards the V2X identifiers
+    // B->A, but the policy layer — observed via the engine-audit column —
+    // now statically denies them in every reachable mode. Those whitelist
+    // entries are dead weight worth a warning.
+    let spec = LadderSpec::shipped().with_policy_set(PolicySet::from_policy(car_policy()));
+    let result = analyze_ladder(&spec);
+    let dead = result.report.of_kind(FindingKind::DeadWhitelist);
+    let mut ids: Vec<String> = dead.iter().map(|f| f.witness.clone()).collect();
+    ids.sort();
+    assert_eq!(
+        ids,
+        vec![
+            format!("0x{V2X_LEAD:03X} B->A"),
+            format!("0x{V2X_HEALTH:03X} B->A"),
+        ],
+        "{}",
+        result.report.to_text()
+    );
+    for f in dead {
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.rule_ids, vec!["gateway-whitelist"]);
+    }
+    // Dropping the v2x policy opens no coverage hole — these are status
+    // broadcasts, not commands.
+    assert_eq!(result.report.count(Severity::Error), 0, "{}", result.report.to_text());
+}
+
+#[test]
+fn matrix_rows_are_deterministic_across_runs() {
+    let a = analyze_ladder(&LadderSpec::shipped());
+    let b = analyze_ladder(&LadderSpec::shipped());
+    assert_eq!(a.matrix_text(), b.matrix_text());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}

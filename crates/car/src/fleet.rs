@@ -378,7 +378,7 @@ fn segment_hpe_lists(ingress: &[u16], egress: &[u16]) -> ApprovedLists {
 /// Whether the identifier is a command (checked as a `Write` from its
 /// claimed origin) rather than a status broadcast (checked as a boundary
 /// `Read`).
-fn is_command_id(id: u16) -> bool {
+pub fn is_command_id(id: u16) -> bool {
     matches!(
         id,
         messages::ECU_COMMAND
@@ -393,7 +393,7 @@ fn is_command_id(id: u16) -> bool {
 
 /// The policy asset a crossing frame concerns, if the identifier maps onto
 /// one the fleet policy knows about.
-fn asset_for_id(id: u16) -> Option<&'static str> {
+pub fn asset_for_id(id: u16) -> Option<&'static str> {
     match id {
         messages::ECU_COMMAND | messages::ECU_STATUS => Some("ev-ecu"),
         messages::EPS_COMMAND | messages::EPS_STATUS => Some("eps"),
@@ -413,6 +413,55 @@ fn is_attack_id(id: CanId) -> bool {
     // The command id map is standard-id space; an extended id with the same
     // low bits is a different identifier.
     !id.is_extended() && ATTACK_IDS.iter().any(|&a| u32::from(a) == id.raw())
+}
+
+/// A static description of one vehicle's enforcement ladder: every
+/// per-layer artifact `polsec-analyze`'s Layer-2 coverage analysis needs,
+/// extracted from the same constants and communication matrix that
+/// [`Vehicle::build`] programs into hardware. Nothing here is simulated —
+/// the description is pure data, so a coverage hole found in it is a
+/// property of the configuration, not of any particular run.
+#[derive(Debug, Clone)]
+pub struct LadderDescription {
+    /// The enforcement flags a fleet run would activate.
+    pub enforcement: FleetEnforcement,
+    /// Powertrain-segment (A) node names.
+    pub powertrain_nodes: Vec<&'static str>,
+    /// Comfort-segment (B) node names.
+    pub comfort_nodes: Vec<&'static str>,
+    /// Gateway whitelist: identifiers forwarded powertrain → comfort.
+    pub cross_a_to_b: Vec<u16>,
+    /// Gateway whitelist: identifiers forwarded comfort → powertrain.
+    pub cross_b_to_a: Vec<u16>,
+    /// Per-node HPE approved lists, exactly as [`Vehicle::build`] programs
+    /// them from the communication matrix.
+    pub node_lists: Vec<(&'static str, ApprovedLists)>,
+    /// Segment HPE lists on gateway endpoint A (powertrain side): reads
+    /// gate what leaves the segment, writes gate what enters it.
+    pub segment_lists_a: ApprovedLists,
+    /// Segment HPE lists on gateway endpoint B (comfort side).
+    pub segment_lists_b: ApprovedLists,
+    /// Identifiers no node legitimately transmits (attack traffic).
+    pub attack_ids: Vec<u16>,
+}
+
+/// Extracts the [`LadderDescription`] a fleet configuration implies.
+pub fn ladder_description(cfg: &FleetConfig) -> LadderDescription {
+    LadderDescription {
+        enforcement: cfg.enforcement,
+        powertrain_nodes: POWERTRAIN_NODES.to_vec(),
+        comfort_nodes: COMFORT_NODES.to_vec(),
+        cross_a_to_b: CROSS_A_TO_B.to_vec(),
+        cross_b_to_a: CROSS_B_TO_A.to_vec(),
+        node_lists: POWERTRAIN_NODES
+            .iter()
+            .chain(COMFORT_NODES.iter())
+            .map(|&n| (n, hpe_lists_for(n)))
+            .collect(),
+        segment_lists_a: segment_hpe_lists(&CROSS_A_TO_B, &CROSS_B_TO_A),
+        segment_lists_b: segment_hpe_lists(&CROSS_B_TO_A, &CROSS_A_TO_B),
+        attack_ids: ATTACK_IDS.to_vec(),
+    }
 }
 
 impl Vehicle {

@@ -50,7 +50,10 @@ pub mod v2x;
 
 pub use attacks::AttackId;
 pub use builder::{Car, CarBuilder, EnforcementConfig};
-pub use fleet::{run_fleet, FleetConfig, FleetEnforcement, FleetReport, Vehicle};
+pub use fleet::{
+    asset_for_id, is_command_id, ladder_description, run_fleet, FleetConfig, FleetEnforcement,
+    FleetReport, LadderDescription, Vehicle,
+};
 pub use modes::{CarMode, LimpTransition, PlatoonHealth};
 pub use scenario::{AttackOutcome, AttackReport, ScenarioRunner};
 pub use security_model::{car_policy, car_security_model, car_use_case};

@@ -74,6 +74,37 @@ pub const V2X_LEAD: u16 = 0x140;
 /// platoon speed and widen the following gap. Payload: `[degraded_flag]`.
 pub const V2X_HEALTH: u16 = 0x150;
 
+/// Every identifier in the car's CAN map, sorted ascending — the frame
+/// class universe `polsec-analyze`'s Layer-2 coverage matrix enumerates.
+pub const ALL_IDS: [u16; 26] = [
+    SAFETY_EVENT,
+    FAILSAFE_TRIGGER,
+    MODE_CHANGE,
+    ALARM_CONTROL,
+    ECU_COMMAND,
+    ECU_STATUS,
+    EPS_COMMAND,
+    EPS_STATUS,
+    ENGINE_COMMAND,
+    ENGINE_STATUS,
+    SENSOR_WHEEL_SPEED,
+    SENSOR_PROXIMITY,
+    SENSOR_CRASH,
+    SENSOR_TEMP,
+    V2X_LEAD,
+    V2X_HEALTH,
+    DOOR_LOCK_COMMAND,
+    DOOR_LOCK_STATUS,
+    TELEMATICS_TRACK,
+    TELEMATICS_CMD,
+    MODEM_CONTROL,
+    ECALL,
+    INFOTAINMENT_STATUS,
+    INFOTAINMENT_CMD,
+    DIAG_REQUEST,
+    DIAG_RESPONSE,
+];
+
 /// The claimed origin of a command frame (`payload[1]`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Origin {

@@ -81,8 +81,12 @@ impl Condition {
     /// Whether a decision gated by this condition may be cached on a
     /// `(subject, object, action, mode)` key: true when the condition
     /// depends on nothing outside that key. `StateEquals` and `RateAtMost`
-    /// read context state the key does not capture, so they are unsafe to
-    /// cache; `InMode` is safe because the mode is part of the key.
+    /// read context state and live rate counters the key does not capture,
+    /// so the engine's load-time cacheability analysis marks any bucket
+    /// containing them non-cacheable and routes those requests around the
+    /// decision cache (the cacheability-analysis bypass — see
+    /// `engine.rs::rebuild`); `InMode` is cacheable because the mode is
+    /// part of the key.
     pub fn is_cache_safe(&self) -> bool {
         match self {
             Condition::Always | Condition::InMode(_) => true,

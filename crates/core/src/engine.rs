@@ -34,8 +34,10 @@
 //! lazily, on demand.
 
 use crate::audit::{AuditLog, AuditRecord};
+use crate::bundle::SignedBundle;
 use crate::cache::{GenCache, KEY_VALID};
 use crate::condition::RateSource;
+use crate::error::PolicyError;
 use crate::intern::Symbol;
 use crate::policy::{Effect, PolicySet, Rule};
 use crate::request::{AccessRequest, EvalContext};
@@ -525,12 +527,47 @@ struct CompiledRule {
     rule: Rule,
     qualified: &'static str,
     id: &'static str,
+    cache_safe: bool,
+}
+
+/// One rule's verdict from the engine's load-time cacheability analysis,
+/// as exposed by [`PolicyEngine::rule_cacheability`]. External analyses
+/// (e.g. `polsec-analyze`) recompute cacheability independently and treat
+/// any disagreement with this report as a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleCacheability {
+    /// The interned `policy.rule` qualified name.
+    pub qualified: &'static str,
+    /// The rule's own id within its policy.
+    pub rule_id: &'static str,
+    /// Whether decisions gated by this rule's condition may be served from
+    /// the `(subject, object, action, mode)` decision cache.
+    pub cache_safe: bool,
 }
 
 #[derive(Debug, Default)]
 struct Bucket {
     rules: Vec<u32>,
     cache_safe: bool,
+}
+
+/// How [`PolicyEngine::load_bundle`] treats the incoming policy set.
+pub enum LoadMode<'a> {
+    /// Verify the signature and apply.
+    Permissive,
+    /// Additionally run a static validator over the verified policy set;
+    /// an `Err` vetoes the load. The validator receives the would-be
+    /// policy set and returns its findings rendered as text.
+    Strict(&'a dyn Fn(&PolicySet) -> Result<(), String>),
+}
+
+impl fmt::Debug for LoadMode<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadMode::Permissive => f.write_str("Permissive"),
+            LoadMode::Strict(_) => f.write_str("Strict(..)"),
+        }
+    }
 }
 
 /// Default decision-cache capacity (slots).
@@ -670,6 +707,56 @@ impl PolicyEngine {
         self.cache.clear();
     }
 
+    /// Verifies a signed bundle against `key` and, on success, reloads the
+    /// engine with the bundle's policies (see [`PolicyEngine::reload`]).
+    /// Returns the applied bundle version.
+    ///
+    /// With [`LoadMode::Strict`] the supplied validator — typically
+    /// `polsec-analyze`'s Layer-1 linter — runs over the incoming policy
+    /// set *before* the swap; a validator error aborts the load with
+    /// [`PolicyError::AnalysisRejected`] and the engine keeps its current
+    /// policies, indexes and cache generation untouched.
+    ///
+    /// # Errors
+    /// [`PolicyError::BadSignature`] / [`PolicyError::MalformedBundle`] on
+    /// verification failure, [`PolicyError::AnalysisRejected`] on a strict
+    /// validator veto.
+    pub fn load_bundle(
+        &mut self,
+        bundle: &SignedBundle,
+        key: &[u8],
+        mode: LoadMode<'_>,
+    ) -> Result<u64, PolicyError> {
+        let bundle = bundle.verify(key)?;
+        let set: PolicySet = bundle.policies.iter().cloned().collect();
+        if let LoadMode::Strict(validator) = mode {
+            if let Err(detail) = validator(&set) {
+                return Err(PolicyError::AnalysisRejected { detail });
+            }
+        }
+        self.reload(set);
+        Ok(bundle.version)
+    }
+
+    /// The engine's load-time cacheability analysis, per rule, in policy
+    /// set order. See [`RuleCacheability`].
+    pub fn rule_cacheability(&self) -> Vec<RuleCacheability> {
+        self.rules
+            .iter()
+            .map(|r| RuleCacheability {
+                qualified: r.qualified,
+                rule_id: r.id,
+                cache_safe: r.cache_safe,
+            })
+            .collect()
+    }
+
+    /// Whether every loaded rule is cache-safe (the whole-table aggregate
+    /// of the load-time cacheability analysis).
+    pub fn all_cache_safe(&self) -> bool {
+        self.all_cache_safe
+    }
+
     fn rebuild(&mut self) {
         self.rules.clear();
         self.subject_index.clear();
@@ -699,6 +786,7 @@ impl PolicyEngine {
                 qualified,
                 id: rule.id(),
                 rule: rule.clone(),
+                cache_safe,
             });
         }
         // A decision is cacheable only if every rule that could apply is;

@@ -53,6 +53,13 @@ pub enum PolicyError {
     },
     /// Rollback was requested with no previous version retained.
     NothingToRollBack,
+    /// A strict-mode bundle load was vetoed by static analysis
+    /// ([`PolicyEngine::load_bundle`](crate::PolicyEngine::load_bundle)
+    /// with [`LoadMode::Strict`](crate::LoadMode::Strict)).
+    AnalysisRejected {
+        /// The validator's findings, rendered as text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PolicyError {
@@ -77,6 +84,9 @@ impl fmt::Display for PolicyError {
             }
             PolicyError::MalformedBundle { detail } => write!(f, "malformed bundle: {detail}"),
             PolicyError::NothingToRollBack => write!(f, "no previous policy version retained"),
+            PolicyError::AnalysisRejected { detail } => {
+                write!(f, "bundle rejected by static analysis: {detail}")
+            }
         }
     }
 }

@@ -81,7 +81,9 @@ pub use bundle::{PolicyBundle, SignedBundle};
 pub use compiler::compile_security_model;
 pub use cache::GenCache;
 pub use condition::{Condition, RateSource};
-pub use engine::{CombiningStrategy, Decision, EngineStats, PolicyEngine};
+pub use engine::{
+    CombiningStrategy, Decision, EngineStats, LoadMode, PolicyEngine, RuleCacheability,
+};
 pub use intern::Symbol;
 pub use entity::{EntityId, EntityMatcher, Pattern};
 pub use error::PolicyError;

@@ -92,6 +92,17 @@ impl ApprovedList {
     pub fn entries(&self) -> &[AcceptanceFilter] {
         &self.entries
     }
+
+    /// Every standard identifier the list approves, ascending — the bank
+    /// "decompiled" back out of hardware for offline analysis
+    /// (`polsec-analyze`'s Layer-2 coverage matrix). Probes the whole
+    /// 11-bit space, so id/mask and range entries are expanded exactly
+    /// rather than approximated.
+    pub fn covered_standard_ids(&self) -> Vec<u16> {
+        (0u16..=0x7FF)
+            .filter(|&id| self.approves(CanId::Standard(id)))
+            .collect()
+    }
 }
 
 impl fmt::Display for ApprovedList {
@@ -275,5 +286,18 @@ mod tests {
         let mut lists = ApprovedLists::with_capacity(8);
         lists.allow_read(sid(1)).unwrap();
         assert_eq!(lists.to_string(), "read[1/8 entries] write[0/8 entries]");
+    }
+
+    #[test]
+    fn covered_standard_ids_expands_masks_exactly() {
+        let mut list = ApprovedList::with_capacity(4);
+        list.add_exact(sid(0x123)).unwrap();
+        // the aligned 4-block 0x200..=0x203
+        list.add(AcceptanceFilter::standard(0x200, 0x7FC)).unwrap();
+        assert_eq!(
+            list.covered_standard_ids(),
+            vec![0x123, 0x200, 0x201, 0x202, 0x203]
+        );
+        assert!(ApprovedList::with_capacity(1).covered_standard_ids().is_empty());
     }
 }

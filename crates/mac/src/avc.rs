@@ -93,6 +93,21 @@ struct Entry {
     generation: u64,
 }
 
+/// One live cache entry, as returned by [`Avc::export_entries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvcExportEntry {
+    /// Source type symbol.
+    pub source: Symbol,
+    /// Target type symbol.
+    pub target: Symbol,
+    /// Object class symbol.
+    pub class: Symbol,
+    /// Permission symbol.
+    pub perm: Symbol,
+    /// The cached vector.
+    pub vector: AccessVector,
+}
+
 /// A generation-tagged access vector cache.
 #[derive(Debug, Clone, Default)]
 pub struct Avc {
@@ -212,6 +227,35 @@ impl Avc {
         self.map.clear();
     }
 
+    /// Exports every live entry computed under `generation`, sorted by the
+    /// `(source, target, class, perm)` strings — a deterministic snapshot
+    /// for offline audit tooling (`polsec-analyze` lints exported vectors
+    /// against fresh policy answers; a divergent entry means a stale or
+    /// corrupted cache). Stale-generation entries are skipped, not dropped.
+    pub fn export_entries(&self, generation: u64) -> Vec<AvcExportEntry> {
+        let mut out: Vec<AvcExportEntry> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.generation == generation)
+            .map(|(k, e)| AvcExportEntry {
+                source: k.source,
+                target: k.target,
+                class: k.class,
+                perm: k.perm,
+                vector: e.vector,
+            })
+            .collect();
+        out.sort_by_key(|e| {
+            (
+                e.source.as_str(),
+                e.target.as_str(),
+                e.class.as_str(),
+                e.perm.as_str(),
+            )
+        });
+        out
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -285,5 +329,20 @@ mod tests {
     #[test]
     fn hit_ratio_zero_when_untouched() {
         assert_eq!(Avc::new().stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn export_is_sorted_and_generation_filtered() {
+        let mut avc = Avc::new();
+        avc.insert("zeta", "t", "c", "read", 1, true);
+        avc.insert("alpha", "t", "c", "read", 1, false);
+        avc.insert("mid", "t", "c", "read", 7, true); // other generation
+        let entries = avc.export_entries(1);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].source.as_str(), "alpha");
+        assert!(!entries[0].vector.allowed);
+        assert_eq!(entries[1].source.as_str(), "zeta");
+        assert!(entries[1].vector.allowed);
+        assert_eq!(avc.len(), 3, "export never mutates the cache");
     }
 }

@@ -55,7 +55,7 @@ pub mod te;
 
 pub use adapter::module_from_core_policy;
 pub use anomaly::{AnomalyDetector, NGramDetector, RateDetector};
-pub use avc::{AccessVector, Avc, AvcStats};
+pub use avc::{AccessVector, Avc, AvcExportEntry, AvcStats};
 pub use context::SecurityContext;
 pub use enforcer::{CheckResult, Enforcer, EnforcementMode};
 pub use error::MacError;

@@ -8,6 +8,22 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Renders `s` as a JSON string literal (quoted, `"`/`\` and control
+/// characters escaped). Shared by [`MetricSet::to_json`] and every other
+/// hand-rolled JSON reporter in the workspace (`polsec-analyze`'s findings
+/// report, the bench harness outputs) so they escape identically.
+pub fn json_quote(s: &str) -> String {
+    let escaped: String = s
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!("\"{escaped}\"")
+}
+
 /// A monotonically increasing named counter.
 ///
 /// # Example
@@ -269,17 +285,7 @@ impl MetricSet {
     /// byte-identical JSON — the replay-determinism checks compare exactly
     /// this string.
     pub fn to_json(&mut self) -> String {
-        fn quote(s: &str) -> String {
-            let escaped: String = s
-                .chars()
-                .flat_map(|c| match c {
-                    '"' | '\\' => vec!['\\', c],
-                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-                    c => vec![c],
-                })
-                .collect();
-            format!("\"{escaped}\"")
-        }
+        let quote = json_quote;
         let mut out = String::from("{\"counters\":{");
         let mut first = true;
         for (k, v) in &self.counters {

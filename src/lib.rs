@@ -12,7 +12,9 @@
 //! * [`hpe`] — the hardware-based policy engine (Fig. 4),
 //! * [`mac`] — SELinux-style software enforcement,
 //! * [`car`] — the connected-car case study (Fig. 2, Table I),
-//! * [`sim`] — the discrete-event simulation substrate.
+//! * [`sim`] — the discrete-event simulation substrate,
+//! * [`analyze`] — static policy analysis (shadowing, reachability,
+//!   cross-layer coverage holes), the `polsec-analyze` CI gate.
 //!
 //! Start with `examples/quickstart.rs`, then `examples/connected_car.rs`
 //! for the full case study and `examples/policy_update.rs` for the paper's
@@ -42,6 +44,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Static policy analysis (`polsec-analyze`).
+pub use polsec_analyze as analyze;
 /// The CAN bus substrate (`polsec-can`).
 pub use polsec_can as can;
 /// The connected-car case study (`polsec-car`).

@@ -1,10 +1,10 @@
 //! Property-based tests for the policy core: DSL round trip, engine
 //! determinism and combining-strategy relationships.
 
-use polsec::policy::dsl::{parse_policy, print_policy};
+use polsec::policy::dsl::{parse_policies, parse_policy, print_policy};
 use polsec::policy::{
     AccessRequest, Action, ActionSet, CombiningStrategy, Condition, Effect, EntityId,
-    EntityMatcher, EvalContext, Pattern, Policy, PolicyEngine, PolicySet, Rule,
+    EntityMatcher, EvalContext, Pattern, Policy, PolicyBundle, PolicyEngine, PolicySet, Rule,
 };
 use proptest::prelude::*;
 
@@ -119,6 +119,45 @@ proptest! {
         let parsed = parse_policy(&text)
             .unwrap_or_else(|e| panic!("printed policy failed to parse: {e}\n{text}"));
         prop_assert_eq!(parsed, policy);
+    }
+
+    #[test]
+    fn dsl_round_trips_whole_documents(policies in prop::collection::vec(arb_policy(), 1..4)) {
+        // A bundle-sized document: several policies printed back to back
+        // must parse to the same sequence. Policy names may collide across
+        // generated entries; keep the first of each name since a document
+        // is keyed by policy name.
+        let mut seen = std::collections::BTreeSet::new();
+        let policies: Vec<Policy> = policies
+            .into_iter()
+            .filter(|p| seen.insert(p.name().to_string()))
+            .collect();
+        let text: String = policies.iter().map(|p| print_policy(p) + "\n").collect();
+        let parsed = parse_policies(&text)
+            .unwrap_or_else(|e| panic!("printed document failed to parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, policies);
+    }
+
+    #[test]
+    fn bundle_payloads_round_trip(
+        policies in prop::collection::vec(arb_policy(), 0..4),
+        version in 1u64..1000,
+        rationale in "[ -~]{0,40}",
+    ) {
+        let mut seen = std::collections::BTreeSet::new();
+        let policies: Vec<Policy> = policies
+            .into_iter()
+            .filter(|p| seen.insert(p.name().to_string()))
+            .collect();
+        let bundle = PolicyBundle::new(version, rationale, policies);
+        let back = PolicyBundle::from_payload(&bundle.payload())
+            .unwrap_or_else(|e| panic!("bundle payload failed to decode: {e}"));
+        prop_assert_eq!(&back, &bundle);
+
+        // And through the signed wire form: sign/verify is the identity.
+        let key = b"prop-key";
+        let verified = bundle.sign(key).verify(key).expect("fresh signature verifies");
+        prop_assert_eq!(verified, bundle);
     }
 
     #[test]
