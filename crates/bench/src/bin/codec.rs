@@ -147,7 +147,7 @@ fn main() {
     let encode_ns = encode_elapsed * 1e9 / encoded as f64;
     let summary = format!(
         concat!(
-            "{{\"bench\":\"codec\",\"frames\":{},",
+            "{{\"bench\":\"codec\",\"threads\":1,\"frames\":{},",
             "\"encode_ns_per_frame\":{:.1},\"encode_frames_per_sec\":{:.0},",
             "\"encode_bits_per_sec\":{:.0},\"wire_len_ns_per_frame\":{:.1},",
             "\"decode_ns_per_frame\":{:.1},\"zero_alloc_encode\":{},",

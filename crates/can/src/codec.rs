@@ -243,7 +243,7 @@ pub struct WireInfoCache {
 }
 
 impl WireInfoCache {
-    const SLOTS: usize = 64;
+    const SLOTS: usize = 1024;
     const EMPTY: u64 = u64::MAX;
 
     /// Creates an empty cache.
@@ -260,7 +260,7 @@ impl WireInfoCache {
         // splitmix64-style finaliser spreads the key across slots
         let mut h = k0 ^ k1.rotate_left(32);
         h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        let slot = (h >> 58) as usize & (Self::SLOTS - 1);
+        let slot = (h >> 54) as usize & (Self::SLOTS - 1);
         let e = &mut self.entries[slot];
         if e.0 == k0 && e.1 == k1 {
             return e.2;

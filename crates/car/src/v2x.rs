@@ -525,7 +525,10 @@ impl V2xVehicle {
     fn build(cfg: &V2xConfig, shard: usize, engine: Arc<PolicyEngine>) -> Self {
         let car = Vehicle::build(&cfg.fleet, shard, engine);
         let store = DevicePolicyStore::new(PolicySet::from_policy(car_policy()), OEM_KEY.to_vec());
-        let ingest = PolicyEngine::new(store.active().clone());
+        // One ingest engine per simulated vehicle: the compact footprint
+        // (vs PolicyEngine::new's MB-scale service sizing) keeps a
+        // hundred-vehicle run out of allocator churn.
+        let ingest = PolicyEngine::compact(store.active().clone());
         V2xVehicle {
             shard,
             is_attacker: Some(shard) == cfg.attacker(),
@@ -718,7 +721,7 @@ impl V2xVehicle {
                 if self.is_attacker && self.captured_ota.is_none() {
                     self.captured_ota = Some((payload.to_vec(), signature_hex.to_string()));
                 }
-                self.ingest = PolicyEngine::new(self.store.active().clone());
+                self.ingest = PolicyEngine::compact(self.store.active().clone());
                 self.count("ota.applied", 1);
                 self.car
                     .metrics_mut()

@@ -626,8 +626,24 @@ impl fmt::Debug for PolicyEngine {
 
 impl PolicyEngine {
     /// Creates an engine over a policy set with the default strategy
-    /// (deny-overrides), indexing and decision caching enabled.
+    /// (deny-overrides), indexing and decision caching enabled, sized for a
+    /// shared, service-scale deployment ([`AuditLog::DEFAULT_CAPACITY`]
+    /// audit records per shard, [`DECISION_CACHE_SLOTS`] cache slots).
     pub fn new(set: PolicySet) -> Self {
+        PolicyEngine::with_footprint(set, AuditLog::DEFAULT_CAPACITY, DECISION_CACHE_SLOTS)
+    }
+
+    /// Creates an engine with explicit audit and decision-cache sizing.
+    ///
+    /// [`PolicyEngine::new`] pre-allocates for a fleet-shared engine serving
+    /// millions of decisions: `AUDIT_SHARDS` rings of 16k records plus an
+    /// eagerly initialised 8k-slot cache — several MB touched per engine.
+    /// Workloads that build one engine *per simulated device* (the V2X
+    /// ingest path spins up hundreds per run, and rebuilds on every OTA
+    /// apply) want [`PolicyEngine::compact`] instead; this constructor is
+    /// the shared base. `cache_slots` is rounded up to a power of two with
+    /// a floor of 64 by the cache itself.
+    pub fn with_footprint(set: PolicySet, audit_capacity: usize, cache_slots: usize) -> Self {
         let mut engine = PolicyEngine {
             rules: Vec::new(),
             default_effect: set.default_effect(),
@@ -639,9 +655,9 @@ impl PolicyEngine {
             unindexed_cache_safe: true,
             all_cache_safe: true,
             rates: RateTable::default(),
-            audit: AuditSink::new(AuditLog::DEFAULT_CAPACITY),
+            audit: AuditSink::new(audit_capacity),
             counters: EngineCounters::default(),
-            cache: GenCache::with_capacity(DECISION_CACHE_SLOTS),
+            cache: GenCache::with_capacity(cache_slots),
             generation: AtomicU32::new(0),
             set,
         };
@@ -649,9 +665,35 @@ impl PolicyEngine {
         engine
     }
 
+    /// Audit capacity for [`PolicyEngine::compact`] engines: enough for the
+    /// per-device decision tails the V2X scenarios inspect.
+    pub const COMPACT_AUDIT_CAPACITY: usize = 64;
+
+    /// Decision-cache slots for [`PolicyEngine::compact`] engines (the
+    /// cache floors this at its 64-slot minimum).
+    pub const COMPACT_CACHE_SLOTS: usize = 256;
+
+    /// Creates a per-device engine: identical decisions to
+    /// [`PolicyEngine::new`], but with a footprint in the tens of KB rather
+    /// than MB. Use for simulations that construct an engine per vehicle
+    /// (and rebuild on OTA policy swaps) — the full-size pre-allocation
+    /// dominated the v2x bench's allocator time before this existed.
+    pub fn compact(set: PolicySet) -> Self {
+        PolicyEngine::with_footprint(
+            set,
+            PolicyEngine::COMPACT_AUDIT_CAPACITY,
+            PolicyEngine::COMPACT_CACHE_SLOTS,
+        )
+    }
+
     /// Creates an engine from a single policy.
     pub fn from_policy(p: crate::policy::Policy) -> Self {
         PolicyEngine::new(PolicySet::from_policy(p))
+    }
+
+    /// [`PolicyEngine::compact`] over a single policy.
+    pub fn compact_from_policy(p: crate::policy::Policy) -> Self {
+        PolicyEngine::compact(PolicySet::from_policy(p))
     }
 
     /// Sets the combining strategy (builder style).

@@ -52,6 +52,6 @@ pub use plane::{
     run_epochs, run_epochs_faulted, Address, Envelope, EpochCtx, FaultPlan, MessagePlane, Outbox,
 };
 pub use rng::DetRng;
-pub use shard::run_sharded;
+pub use shard::{resolve_threads, run_sharded};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};

@@ -149,6 +149,27 @@ impl Histogram {
         Some(self.samples[rank - 1])
     }
 
+    /// The raw samples, in recorded order (concatenation order after
+    /// merges). Note that [`Histogram::quantile`] sorts the samples in
+    /// place, so call sites comparing orders must do so before any
+    /// quantile/summary/JSON rendering.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Moves every sample out of `other` onto the end of this histogram —
+    /// the owned, O(1)-amortised counterpart of the per-sample copy in
+    /// [`MetricSet::merge`]. Sample order is preserved: `self` then
+    /// `other`, exactly as if each of `other`'s samples had been
+    /// [`Histogram::record`]ed in turn.
+    pub fn absorb(&mut self, other: &mut Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.append(&mut other.samples);
+        self.sorted = false;
+    }
+
     /// A compact single-line summary: `n min mean p50 p99 max`.
     pub fn summary(&mut self) -> String {
         if self.is_empty() {
@@ -243,6 +264,69 @@ impl MetricSet {
                 dst.record(*s);
             }
         }
+    }
+
+    /// Merges an owned metric set into this one without copying histogram
+    /// samples: counters add, histogram sample vectors are moved and
+    /// appended. Equivalent to [`MetricSet::merge`] byte-for-byte (same
+    /// counter sums, same sample concatenation order), but O(1) amortised
+    /// per histogram instead of O(samples) — the building block of
+    /// [`MetricSet::merge_tree`].
+    pub fn absorb(&mut self, other: MetricSet) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, mut h) in other.histograms {
+            match self.histograms.entry(k) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(&mut h),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h);
+                }
+            }
+        }
+    }
+
+    /// Reduces per-shard metric sets to one merged set along a
+    /// deterministic binary tree, optionally fanning the reduction over up
+    /// to `threads` threads (values `<= 1` reduce inline).
+    ///
+    /// The tree's shape is a pure function of `sets.len()` — each node
+    /// splits its slice at the midpoint — and every merge keeps the left
+    /// (lower-index) half's samples ahead of the right half's, so the
+    /// result is **byte-identical** to folding the sets serially in index
+    /// order with [`MetricSet::merge`]: same counter sums, same histogram
+    /// sample order, same [`MetricSet::to_json`] string. Thread count can
+    /// only change wall-clock time, never the reduction — the property the
+    /// sharded runners' determinism contract leans on.
+    pub fn merge_tree(sets: Vec<MetricSet>, threads: usize) -> MetricSet {
+        fn reduce(slots: &mut [Option<MetricSet>], budget: usize) -> MetricSet {
+            match slots.len() {
+                0 => MetricSet::new(),
+                1 => slots[0].take().unwrap_or_default(),
+                n => {
+                    let (left, right) = slots.split_at_mut(n / 2);
+                    let (mut l, r) = if budget > 1 && n >= 4 {
+                        let left_budget = budget / 2;
+                        let right_budget = budget - left_budget;
+                        std::thread::scope(|scope| {
+                            let right_half = scope.spawn(move || reduce(right, right_budget));
+                            let l = reduce(left, left_budget);
+                            let r = match right_half.join() {
+                                Ok(r) => r,
+                                Err(panic) => std::panic::resume_unwind(panic),
+                            };
+                            (l, r)
+                        })
+                    } else {
+                        (reduce(left, 1), reduce(right, 1))
+                    };
+                    l.absorb(r);
+                    l
+                }
+            }
+        }
+        let mut slots: Vec<Option<MetricSet>> = sets.into_iter().map(Some).collect();
+        reduce(&mut slots, threads.max(1))
     }
 
     /// Moves every counter and histogram whose name starts with `prefix`
@@ -453,6 +537,69 @@ mod tests {
         assert_eq!(m.counter("peak"), 5, "lower values never regress the gauge");
         m.set_max("peak", 9);
         assert_eq!(m.counter("peak"), 9);
+    }
+
+    #[test]
+    fn absorb_matches_merge_including_sample_order() {
+        let mut base = MetricSet::new();
+        base.count("x", 1);
+        base.observe("h", 5);
+        let mut other = MetricSet::new();
+        other.count("x", 2);
+        other.observe("h", 9);
+        other.observe("h", 1);
+        other.observe("only", 3);
+
+        let mut merged = base.clone();
+        merged.merge(&other);
+        let mut absorbed = base;
+        absorbed.absorb(other);
+        assert_eq!(
+            absorbed.histogram_mut("h").unwrap().samples(),
+            &[5, 9, 1],
+            "absorb must preserve concatenation order"
+        );
+        assert_eq!(absorbed.to_json(), merged.to_json());
+    }
+
+    fn indexed_set(i: usize) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.count("shards", 1);
+        m.count(&format!("only.{i}"), i as u64 + 1);
+        for k in 0..5 {
+            m.observe("order", (i * 10 + k) as u64);
+        }
+        m
+    }
+
+    #[test]
+    fn merge_tree_is_byte_identical_to_serial_fold() {
+        for n in [0usize, 1, 2, 3, 7, 16, 33] {
+            let mut serial = MetricSet::new();
+            for i in 0..n {
+                serial.merge(&indexed_set(i));
+            }
+            let serial_samples: Vec<u64> = serial
+                .histogram_mut("order")
+                .map(|h| h.samples().to_vec())
+                .unwrap_or_default();
+            for threads in [1usize, 2, 4, 8] {
+                let mut tree =
+                    MetricSet::merge_tree((0..n).map(indexed_set).collect(), threads);
+                assert_eq!(
+                    tree.histogram_mut("order")
+                        .map(|h| h.samples().to_vec())
+                        .unwrap_or_default(),
+                    serial_samples,
+                    "n={n} threads={threads}: sample order diverged"
+                );
+                assert_eq!(
+                    tree.to_json(),
+                    serial.clone().to_json(),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,13 +8,28 @@
 //!
 //! [`run_epochs`] achieves this with an epoch barrier. Shards run one epoch
 //! of work concurrently, each writing outgoing mail into its own
-//! [`Outbox`]; at the barrier the [`MessagePlane`] collects every outbox
-//! **in shard-index order**, routes each [`Envelope`] by deterministic
-//! rules (unicast addresses, registered broadcast groups), and builds the
-//! next epoch's inboxes. Because outboxes are drained in shard order and a
-//! shard assigns its envelopes strictly increasing sequence numbers, every
-//! inbox is sorted by `(sender_shard, seq)` — a pure function of the
-//! per-shard work, never of thread scheduling.
+//! [`Outbox`]; the router collects every outbox **in shard-index order**,
+//! routes each [`Envelope`] by deterministic rules (unicast addresses,
+//! registered broadcast groups), and builds the next epoch's inboxes.
+//! Because outboxes are drained in shard order and a shard assigns its
+//! envelopes strictly increasing sequence numbers, every inbox is sorted by
+//! `(sender_shard, seq)` — a pure function of the per-shard work, never of
+//! thread scheduling.
+//!
+//! # The overlapped barrier
+//!
+//! The barrier is *pipelined*, not serial: a persistent worker pool claims
+//! shards from a guided chunked work queue (stragglers never idle whole
+//! workers behind a static partition), and the routing thread consumes
+//! finished outboxes in shard-index order **while later shards of the same
+//! epoch are still running** — the serial section shrinks to the tail
+//! shard plus one buffer swap. Inboxes are double-buffered (workers read
+//! epoch N's buffer while the router fills epoch N+1's) and every envelope
+//! `Vec` is recycled through a buffer pool at the barrier, so steady-state
+//! routing performs no allocation. Delivery latency is unchanged: mail
+//! sent in epoch N is readable in epoch N+1, which is what keeps every
+//! latency-sensitive invariant (ack round-trips, delay-fault arithmetic)
+//! identical to the historical serial barrier. See DESIGN.md §12.
 //!
 //! # Fault injection
 //!
@@ -22,9 +37,9 @@
 //! deliveries *at the barrier*: per-delivery drop, duplication,
 //! delay-by-k-epochs and inbox reordering, each decided by a generator
 //! derived purely from `(plan seed, epoch, sender, seq, receiver)` via
-//! [`DetRng::stream_keys`]. Because every decision happens in the serial
-//! barrier and keys off routing-visible identifiers only, a faulted run is
-//! exactly as thread-count-invariant as a clean one — chaos experiments
+//! [`DetRng::stream_keys`]. Every decision happens on the single routing
+//! thread and keys off routing-visible identifiers only, so a faulted run
+//! is exactly as thread-count-invariant as a clean one — chaos experiments
 //! replay byte-for-byte.
 //!
 //! # Example
@@ -56,9 +71,10 @@
 
 use crate::metrics::MetricSet;
 use crate::rng::DetRng;
+use crate::shard::{claim_chunk, resolve_threads};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
 
 /// Identifier of a broadcast group registered on a [`MessagePlane`].
 pub type GroupId = u32;
@@ -97,12 +113,22 @@ pub struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    fn new(from: usize, next_seq: u32) -> Self {
+    /// Wraps a (cleared) recycled buffer — the per-epoch arena: outbox
+    /// vectors cycle worker → router → pool → worker, so steady-state
+    /// sending allocates only when a shard outgrows every pooled buffer.
+    fn with_buffer(from: usize, next_seq: u32, mail: Vec<Envelope<M>>) -> Self {
+        debug_assert!(mail.is_empty());
         Outbox {
             from,
             next_seq,
-            mail: Vec::new(),
+            mail,
         }
+    }
+
+    /// Reclaims the (drained) buffer for the pool.
+    fn into_buffer(mut self) -> Vec<Envelope<M>> {
+        self.mail.clear();
+        self.mail
     }
 
     /// Queues a message to an explicit address.
@@ -192,7 +218,7 @@ impl MessagePlane {
 /// drop the delivery, duplicate it, and delay each surviving copy by
 /// `1..=max_delay_epochs` epochs. Independently, assembled inboxes are
 /// perturbed by adjacent-pair swaps with probability `reorder` per pair.
-/// All decisions are made in the serial barrier, so a faulted run stays
+/// All decisions are made on the routing thread, so a faulted run stays
 /// byte-identical at any thread count.
 ///
 /// # Example
@@ -248,7 +274,7 @@ impl FaultPlan {
     }
 }
 
-/// Counters the barrier accumulates while routing.
+/// Counters the router accumulates while routing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct PlaneStats {
     sent: u64,
@@ -263,7 +289,7 @@ struct PlaneStats {
 }
 
 /// Mail scheduled by the fault plan for a future epoch, keyed by delivery
-/// epoch. Within one epoch, entries keep barrier insertion order.
+/// epoch. Within one epoch, entries keep router insertion order.
 type PendingMail<M> = BTreeMap<u64, Vec<(usize, Envelope<M>)>>;
 
 /// Appends `env` to `dst`'s inbox, honouring the inbox bound
@@ -287,7 +313,7 @@ fn deliver<M>(
 /// Applies the fault plan to one delivery: drop, duplicate, then delay each
 /// surviving copy. Immediate copies land in `inboxes`; delayed copies are
 /// parked in `pending` under their target epoch.
-#[allow(clippy::too_many_arguments)] // barrier plumbing: all state is threaded explicitly
+#[allow(clippy::too_many_arguments)] // router plumbing: all state is threaded explicitly
 fn fault_deliver<M: Clone>(
     faults: Option<&FaultPlan>,
     epoch: u64,
@@ -336,34 +362,61 @@ fn fault_deliver<M: Clone>(
     }
 }
 
-/// Routes one epoch's outboxes (given in shard order) into fresh inboxes,
-/// applying the fault plan per delivery. Without a fault plan, inboxes come
-/// out sorted by `(from, seq)` by construction.
-#[allow(clippy::too_many_arguments)] // serial barrier internals, not API
-fn route<M: Clone>(
-    plane: &MessagePlane,
+/// The single-threaded router: owns the fault plan's parked mail and the
+/// plane counters, and builds epoch N+1's inboxes from epoch N's outboxes.
+/// Every method runs on the orchestrating thread — that, not a lock, is
+/// what keeps fault decisions and delivery order independent of worker
+/// scheduling.
+struct Router<'p, M> {
+    plane: &'p MessagePlane,
     shards: usize,
-    epoch: u64,
-    faults: Option<&FaultPlan>,
-    outboxes: Vec<Outbox<M>>,
-    inboxes: &mut [Vec<Envelope<M>>],
-    pending: &mut PendingMail<M>,
-    stats: &mut PlaneStats,
-) {
-    for inbox in inboxes.iter_mut() {
-        inbox.clear();
-    }
-    let cap = plane.inbox_capacity.unwrap_or(usize::MAX);
-    // Delayed mail due now is delivered first (in the deterministic order it
-    // was parked), ahead of this barrier's fresh mail — late arrivals
-    // jumping the queue is the observable effect of a delay fault.
-    if let Some(due) = pending.remove(&(epoch + 1)) {
-        for (dst, env) in due {
-            deliver(inboxes, dst, env, cap, stats);
+    faults: Option<&'p FaultPlan>,
+    cap: usize,
+    pending: PendingMail<M>,
+    stats: PlaneStats,
+}
+
+impl<'p, M: Clone> Router<'p, M> {
+    fn new(plane: &'p MessagePlane, shards: usize, faults: Option<&'p FaultPlan>) -> Self {
+        Router {
+            plane,
+            shards,
+            faults,
+            cap: plane.inbox_capacity.unwrap_or(usize::MAX),
+            pending: PendingMail::new(),
+            stats: PlaneStats::default(),
         }
     }
-    for outbox in outboxes {
-        for env in outbox.mail {
+
+    /// Opens the barrier work for `epoch`: clears the target inboxes
+    /// (retaining their allocations) and delivers parked mail due now,
+    /// ahead of any fresh mail — late arrivals jumping the queue is the
+    /// observable effect of a delay fault.
+    fn begin_epoch(&mut self, epoch: u64, inboxes: &mut [Vec<Envelope<M>>]) {
+        for inbox in inboxes.iter_mut() {
+            inbox.clear();
+        }
+        if let Some(due) = self.pending.remove(&(epoch + 1)) {
+            for (dst, env) in due {
+                deliver(inboxes, dst, env, self.cap, &mut self.stats);
+            }
+        }
+    }
+
+    /// Routes (and drains) one shard's outbox. Callers must feed outboxes
+    /// in shard-index order — that, plus per-shard strictly increasing
+    /// sequence numbers, is what keeps fault-free inboxes sorted by
+    /// `(from, seq)`.
+    fn route_outbox(
+        &mut self,
+        epoch: u64,
+        outbox: &mut Outbox<M>,
+        inboxes: &mut [Vec<Envelope<M>>],
+    ) {
+        let (cap, shards, faults, plane) = (self.cap, self.shards, self.faults, self.plane);
+        let pending = &mut self.pending;
+        let stats = &mut self.stats;
+        for env in outbox.mail.drain(..) {
             stats.sent += 1;
             match env.to {
                 Address::Unicast(dst) if dst < shards => {
@@ -396,36 +449,46 @@ fn route<M: Clone>(
             }
         }
     }
-    // Explicit reordering: one deterministic adjacent-swap pass per inbox,
-    // keyed by (seed, epoch, receiver) so it is independent of traffic.
-    if let Some(plan) = faults {
-        if plan.reorder > 0.0 {
-            for (dst, inbox) in inboxes.iter_mut().enumerate() {
-                if inbox.len() < 2 {
-                    continue;
-                }
-                let mut rng = DetRng::stream_keys(
-                    plan.seed ^ FaultPlan::REORDER_SALT,
-                    &[epoch, dst as u64],
-                );
-                for i in 1..inbox.len() {
-                    if rng.chance(plan.reorder) {
-                        inbox.swap(i - 1, i);
-                        stats.reordered += 1;
+
+    /// Closes the barrier for `epoch`: the explicit reorder-fault pass (one
+    /// deterministic adjacent-swap sweep per inbox, keyed by
+    /// `(seed, epoch, receiver)` so it is independent of traffic) and the
+    /// inbox high-water mark.
+    fn end_epoch(&mut self, epoch: u64, inboxes: &mut [Vec<Envelope<M>>]) {
+        if let Some(plan) = self.faults {
+            if plan.reorder > 0.0 {
+                for (dst, inbox) in inboxes.iter_mut().enumerate() {
+                    if inbox.len() < 2 {
+                        continue;
+                    }
+                    let mut rng = DetRng::stream_keys(
+                        plan.seed ^ FaultPlan::REORDER_SALT,
+                        &[epoch, dst as u64],
+                    );
+                    for i in 1..inbox.len() {
+                        if rng.chance(plan.reorder) {
+                            inbox.swap(i - 1, i);
+                            self.stats.reordered += 1;
+                        }
                     }
                 }
             }
         }
+        for inbox in inboxes.iter() {
+            self.stats.inbox_peak = self.stats.inbox_peak.max(inbox.len() as u64);
+        }
+        debug_assert!(
+            self.faults.is_some()
+                || inboxes.iter().all(|inbox| inbox
+                    .windows(2)
+                    .all(|w| (w[0].from, w[0].seq) < (w[1].from, w[1].seq)))
+        );
     }
-    for inbox in inboxes.iter() {
-        stats.inbox_peak = stats.inbox_peak.max(inbox.len() as u64);
+
+    /// Delayed copies still parked for epochs past the end of the run.
+    fn parked(&self) -> u64 {
+        self.pending.values().map(|v| v.len() as u64).sum()
     }
-    debug_assert!(
-        faults.is_some()
-            || inboxes.iter().all(|inbox| inbox
-                .windows(2)
-                .all(|w| (w[0].from, w[0].seq) < (w[1].from, w[1].seq)))
-    );
 }
 
 /// What one shard sees during one epoch.
@@ -470,7 +533,7 @@ pub struct EpochCtx<'a, M> {
 /// shard's inbox content and order is thread-count-invariant.
 ///
 /// # Panics
-/// A panic inside any closure is propagated once the epoch's workers have
+/// A panic inside any closure is propagated once the worker pool has
 /// stopped.
 pub fn run_epochs<S, M, Init, Step, Fin>(
     shards: usize,
@@ -497,14 +560,21 @@ where
 /// On top of the fault-free counters, the merged result carries the fault
 /// accounting — `plane.dropped` (fault drops), `plane.duplicated`,
 /// `plane.delayed`, `plane.reordered` — plus `plane.inbox_overflow` and the
-/// `plane.inbox_peak` high-water gauge for bounded inboxes. Delayed copies
-/// still parked when the run ends count as `plane.undelivered` alongside
-/// final-epoch mail.
+/// `plane.inbox_peak` high-water gauge for bounded inboxes. Undelivered
+/// mail is pinned down exactly: `plane.undelivered_inbox` counts
+/// final-epoch mail (routed into inboxes no epoch will read) and
+/// `plane.undelivered_parked` counts delay-fault copies still parked past
+/// the end of the run; `plane.undelivered` is their sum, always.
 ///
 /// Fault decisions key off `(plan seed, epoch, sender, seq, receiver)` and
-/// run in the serial barrier, so the determinism contract of
+/// run on the single routing thread, so the determinism contract of
 /// [`run_epochs`] — byte-identical merged metrics and inboxes at any
 /// thread count — holds under any plan.
+///
+/// With `threads <= 1` the run executes inline with zero synchronisation
+/// (routing streams behind each shard's step); with more threads a
+/// persistent worker pool overlaps shard execution with routing as
+/// described in the module docs. Both paths produce identical bytes.
 #[allow(clippy::too_many_arguments)] // one optional plan over the stable run_epochs shape
 pub fn run_epochs_faulted<S, M, Init, Step, Fin>(
     shards: usize,
@@ -523,83 +593,30 @@ where
     Step: Fn(&mut S, &mut EpochCtx<'_, M>) + Sync,
     Fin: Fn(S, &mut MetricSet) + Sync,
 {
-    let threads = match threads {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
-    }
-    .min(shards.max(1));
+    let threads = resolve_threads(threads).min(shards.max(1));
+    let mut router = Router::new(plane, shards, faults);
 
-    let states: Vec<Mutex<Option<S>>> = (0..shards).map(|_| Mutex::new(None)).collect();
-    let mut inboxes: Vec<Vec<Envelope<M>>> = (0..shards).map(|_| Vec::new()).collect();
-    let mut next_seqs: Vec<u32> = vec![0; shards];
-    let mut pending: PendingMail<M> = PendingMail::new();
-    let mut stats = PlaneStats::default();
+    let (states, final_inboxes) = if threads <= 1 {
+        drive_serial(&mut router, shards, epochs, &init, &step)
+    } else {
+        drive_overlapped(&mut router, shards, threads, epochs, &init, &step)
+    };
 
-    for epoch in 0..epochs {
-        // One slot per shard: collected in shard order at the barrier.
-        let outboxes: Vec<Mutex<Option<Outbox<M>>>> =
-            (0..shards).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= shards {
-                        break;
-                    }
-                    let mut state_slot = lock(&states[i]);
-                    let state = state_slot.get_or_insert_with(|| init(i));
-                    let mut outbox = Outbox::new(i, next_seqs[i]);
-                    let mut ctx = EpochCtx {
-                        shard: i,
-                        epoch,
-                        epochs,
-                        inbox: &inboxes[i],
-                        outbox: &mut outbox,
-                    };
-                    step(state, &mut ctx);
-                    *lock(&outboxes[i]) = Some(outbox);
-                });
-            }
-        });
-        // Barrier: collect in shard order, route deterministically.
-        let collected: Vec<Outbox<M>> = outboxes
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
-                let outbox = slot
-                    .into_inner()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .expect("every shard ran this epoch");
-                next_seqs[i] = outbox.next_seq;
-                outbox
-            })
-            .collect();
-        route(
-            plane,
-            shards,
-            epoch,
-            faults,
-            collected,
-            &mut inboxes,
-            &mut pending,
-            &mut stats,
-        );
-    }
+    let undelivered_inbox: u64 = final_inboxes.iter().map(|inbox| inbox.len() as u64).sum();
+    let parked = router.parked();
+    let stats = router.stats;
 
-    let parked: u64 = pending.values().map(|v| v.len() as u64).sum();
-    let undelivered: u64 = inboxes.iter().map(|inbox| inbox.len() as u64).sum::<u64>() + parked;
-
-    let mut merged = MetricSet::new();
-    for (i, slot) in states.into_iter().enumerate() {
-        if let Some(state) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+    let mut sets: Vec<MetricSet> = Vec::with_capacity(shards);
+    for (i, state) in states.into_iter().enumerate() {
+        if let Some(state) = state {
             let mut m = MetricSet::new();
             finish(state, &mut m);
-            merged.merge(&m);
+            sets.push(m);
         } else {
             debug_assert!(epochs == 0, "shard {i} never ran");
         }
     }
+    let mut merged = MetricSet::merge_tree(sets, threads);
     merged.count("plane.sent", stats.sent);
     merged.count("plane.delivered", stats.delivered);
     merged.count("plane.unroutable", stats.unroutable);
@@ -608,10 +625,242 @@ where
     merged.count("plane.delayed", stats.delayed);
     merged.count("plane.reordered", stats.reordered);
     merged.count("plane.inbox_overflow", stats.inbox_overflow);
-    merged.count("plane.undelivered", undelivered);
+    merged.count("plane.undelivered", undelivered_inbox + parked);
+    merged.count("plane.undelivered_inbox", undelivered_inbox);
+    merged.count("plane.undelivered_parked", parked);
     merged.count("plane.epochs", epochs);
     merged.set_max("plane.inbox_peak", stats.inbox_peak);
     merged
+}
+
+/// The inline path: one thread, no synchronisation. Routing streams — each
+/// outbox is routed the moment its shard's step returns, which is the
+/// degenerate (and byte-identical) form of the overlapped barrier.
+fn drive_serial<S, M, Init, Step>(
+    router: &mut Router<'_, M>,
+    shards: usize,
+    epochs: u64,
+    init: &Init,
+    step: &Step,
+) -> (Vec<Option<S>>, Vec<Vec<Envelope<M>>>)
+where
+    M: Clone,
+    Init: Fn(usize) -> S,
+    Step: Fn(&mut S, &mut EpochCtx<'_, M>),
+{
+    let mut states: Vec<Option<S>> = (0..shards).map(|_| None).collect();
+    let mut next_seqs: Vec<u32> = vec![0; shards];
+    let mut cur: Vec<Vec<Envelope<M>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut next: Vec<Vec<Envelope<M>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut pool: Vec<Vec<Envelope<M>>> = Vec::new();
+
+    for epoch in 0..epochs {
+        router.begin_epoch(epoch, &mut next);
+        for i in 0..shards {
+            let state = states[i].get_or_insert_with(|| init(i));
+            let mut outbox = Outbox::with_buffer(i, next_seqs[i], pool.pop().unwrap_or_default());
+            let mut ctx = EpochCtx {
+                shard: i,
+                epoch,
+                epochs,
+                inbox: &cur[i],
+                outbox: &mut outbox,
+            };
+            step(state, &mut ctx);
+            next_seqs[i] = outbox.next_seq;
+            router.route_outbox(epoch, &mut outbox, &mut next);
+            pool.push(outbox.into_buffer());
+        }
+        router.end_epoch(epoch, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    (states, cur)
+}
+
+/// Worker-visible per-shard state: the task state plus the sequence-number
+/// cursor that must survive between epochs.
+struct ShardSlot<S> {
+    state: Option<S>,
+    next_seq: u32,
+}
+
+/// Gate value that tells workers to exit.
+const STOP: u64 = u64::MAX;
+
+/// Releases every condvar waiter on drop. Armed guards cover unwinds (a
+/// panicking worker or router must not strand the others mid-wait — the
+/// scope join would deadlock instead of propagating the panic); the router
+/// disarms after its explicit clean shutdown.
+struct Release<'a> {
+    armed: bool,
+    panicked: &'a AtomicBool,
+    gate: &'a Mutex<u64>,
+    gate_cv: &'a Condvar,
+    finished_cv: &'a Condvar,
+}
+
+impl Drop for Release<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.panicked.store(true, Ordering::Relaxed);
+        *lock(self.gate) = STOP;
+        self.gate_cv.notify_all();
+        self.finished_cv.notify_all();
+    }
+}
+
+/// The overlapped path: a persistent worker pool (spawned once per run, not
+/// per epoch) steps shards claimed from a guided chunked queue, while the
+/// orchestrating thread routes finished outboxes in shard-index order —
+/// concurrently with still-running higher-index shards of the same epoch.
+/// Inboxes are double-buffered: workers read `cur` under a read lock while
+/// the router fills its private `next`, and the swap at the barrier is the
+/// only writer-side critical section.
+fn drive_overlapped<S, M, Init, Step>(
+    router: &mut Router<'_, M>,
+    shards: usize,
+    threads: usize,
+    epochs: u64,
+    init: &Init,
+    step: &Step,
+) -> (Vec<Option<S>>, Vec<Vec<Envelope<M>>>)
+where
+    S: Send,
+    M: Clone + Send + Sync,
+    Init: Fn(usize) -> S + Sync,
+    Step: Fn(&mut S, &mut EpochCtx<'_, M>) + Sync,
+{
+    let slots: Vec<Mutex<ShardSlot<S>>> = (0..shards)
+        .map(|_| {
+            Mutex::new(ShardSlot {
+                state: None,
+                next_seq: 0,
+            })
+        })
+        .collect();
+    let cur: RwLock<Vec<Vec<Envelope<M>>>> = RwLock::new((0..shards).map(|_| Vec::new()).collect());
+    let mut next: Vec<Vec<Envelope<M>>> = (0..shards).map(|_| Vec::new()).collect();
+    let finished: Mutex<Vec<Option<Outbox<M>>>> = Mutex::new((0..shards).map(|_| None).collect());
+    let finished_cv = Condvar::new();
+    let pool: Mutex<Vec<Vec<Envelope<M>>>> = Mutex::new(Vec::new());
+    // Number of epochs opened to workers; STOP ends the pool.
+    let gate: Mutex<u64> = Mutex::new(0);
+    let gate_cv = Condvar::new();
+    // One monotonic work cursor for the whole run: epoch e owns indices
+    // [e*shards, (e+1)*shards), and claim_chunk never crosses the epoch
+    // boundary, so no racy per-epoch reset exists to get wrong.
+    let cursor = AtomicU64::new(0);
+    let panicked = AtomicBool::new(false);
+    let shards_u64 = shards as u64;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut guard = Release {
+                    armed: true,
+                    panicked: &panicked,
+                    gate: &gate,
+                    gate_cv: &gate_cv,
+                    finished_cv: &finished_cv,
+                };
+                let mut epoch: u64 = 0;
+                loop {
+                    {
+                        let mut opened = lock(&gate);
+                        loop {
+                            if *opened == STOP {
+                                guard.armed = false;
+                                return;
+                            }
+                            if *opened > epoch {
+                                break;
+                            }
+                            opened = gate_cv.wait(opened).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
+                    let inboxes = cur.read().unwrap_or_else(|e| e.into_inner());
+                    let base = epoch * shards_u64;
+                    while let Some((start, end)) =
+                        claim_chunk(&cursor, base + shards_u64, threads)
+                    {
+                        for g in start..end {
+                            let i = (g - base) as usize;
+                            let mut slot = lock(&slots[i]);
+                            let next_seq = slot.next_seq;
+                            let state = slot.state.get_or_insert_with(|| init(i));
+                            let buf = lock(&pool).pop().unwrap_or_default();
+                            let mut outbox = Outbox::with_buffer(i, next_seq, buf);
+                            let mut ctx = EpochCtx {
+                                shard: i,
+                                epoch,
+                                epochs,
+                                inbox: &inboxes[i],
+                                outbox: &mut outbox,
+                            };
+                            step(state, &mut ctx);
+                            slot.next_seq = outbox.next_seq;
+                            drop(slot);
+                            *lock(&finished)
+                                .get_mut(i)
+                                .expect("finished slot per shard") = Some(outbox);
+                            finished_cv.notify_all();
+                        }
+                    }
+                    drop(inboxes);
+                    epoch += 1;
+                }
+            });
+        }
+
+        // The router runs on the orchestrating thread.
+        let mut guard = Release {
+            armed: true,
+            panicked: &panicked,
+            gate: &gate,
+            gate_cv: &gate_cv,
+            finished_cv: &finished_cv,
+        };
+        'run: for epoch in 0..epochs {
+            router.begin_epoch(epoch, &mut next);
+            *lock(&gate) = epoch + 1;
+            gate_cv.notify_all();
+            for i in 0..shards {
+                // Consume outboxes in shard-index order as they finish —
+                // routing shard i overlaps with shards > i still stepping.
+                let mut outbox = {
+                    let mut f = lock(&finished);
+                    loop {
+                        if panicked.load(Ordering::Relaxed) {
+                            break 'run;
+                        }
+                        if let Some(outbox) = f[i].take() {
+                            break outbox;
+                        }
+                        f = finished_cv.wait(f).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                router.route_outbox(epoch, &mut outbox, &mut next);
+                lock(&pool).push(outbox.into_buffer());
+            }
+            router.end_epoch(epoch, &mut next);
+            // Barrier: waits for the epoch's readers to drop, then swaps
+            // the double buffer — the next epoch reads what was routed.
+            let mut cur_write = cur.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::swap(&mut *cur_write, &mut next);
+        }
+        *lock(&gate) = STOP;
+        gate_cv.notify_all();
+        guard.armed = false;
+    });
+
+    let states: Vec<Option<S>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).state)
+        .collect();
+    let final_inboxes = cur.into_inner().unwrap_or_else(|e| e.into_inner());
+    (states, final_inboxes)
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -1036,6 +1285,75 @@ mod tests {
     }
 
     #[test]
+    fn undelivered_splits_exactly_into_final_inbox_and_parked() {
+        // Fault-free: everything undelivered is final-epoch inbox mail.
+        let plane = MessagePlane::new();
+        let merged = run_epochs(
+            2,
+            1,
+            3,
+            &plane,
+            |_| (),
+            |_, ctx| {
+                ctx.outbox.unicast(1 - ctx.shard, 0u8);
+            },
+            |_, _| {},
+        );
+        assert_eq!(merged.counter("plane.undelivered_inbox"), 2);
+        assert_eq!(merged.counter("plane.undelivered_parked"), 0);
+        assert_eq!(
+            merged.counter("plane.undelivered"),
+            merged.counter("plane.undelivered_inbox")
+        );
+
+        // All-delayed: mail sent in the last epoch parks past the run end.
+        let mut plan = FaultPlan::new(9);
+        plan.delay = 1.0;
+        plan.max_delay_epochs = 3;
+        let merged = run_epochs_faulted(
+            2,
+            1,
+            2,
+            &plane,
+            Some(&plan),
+            |_| (),
+            |_, ctx| {
+                if ctx.epoch == 1 {
+                    ctx.outbox.unicast(1 - ctx.shard, 0u8);
+                }
+            },
+            |_, _| {},
+        );
+        assert_eq!(merged.counter("plane.undelivered_inbox"), 0);
+        assert_eq!(merged.counter("plane.undelivered_parked"), 2);
+        assert_eq!(merged.counter("plane.undelivered"), 2);
+
+        // The identity holds under a chaotic plan at several thread counts.
+        for threads in [1, 2, 4] {
+            let mut chaos_plane = MessagePlane::new();
+            chaos_plane.group(7, 0..6);
+            let merged = run_epochs_faulted(
+                6,
+                threads,
+                5,
+                &chaos_plane,
+                Some(&chaotic_plan()),
+                |shard| shard,
+                |_, ctx| {
+                    ctx.outbox.broadcast(7, ctx.shard as u32);
+                },
+                |_, _| {},
+            );
+            assert_eq!(
+                merged.counter("plane.undelivered"),
+                merged.counter("plane.undelivered_inbox")
+                    + merged.counter("plane.undelivered_parked"),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn fault_decisions_are_pinned() {
         // Known-answer: the exact drop/duplicate/delay pattern of a pinned
         // plan over a pinned workload. If DetRng::stream_keys or the
@@ -1066,7 +1384,8 @@ mod tests {
             "[(\"plane.delayed\", 16), (\"plane.delivered\", 44), (\"plane.dropped\", 15), \
              (\"plane.duplicated\", 6), (\"plane.epochs\", 5), (\"plane.inbox_overflow\", 0), \
              (\"plane.inbox_peak\", 4), (\"plane.reordered\", 2), (\"plane.sent\", 20), \
-             (\"plane.undelivered\", 15), (\"plane.unroutable\", 0)]",
+             (\"plane.undelivered\", 15), (\"plane.undelivered_inbox\", 8), \
+             (\"plane.undelivered_parked\", 7), (\"plane.unroutable\", 0)]",
             "pinned fault plan decisions moved"
         );
     }

@@ -2,24 +2,65 @@
 //!
 //! Fleet-scale experiments run many mutually independent simulations (one
 //! per vehicle) and report one merged [`MetricSet`]. [`run_sharded`] fans the
-//! shard indices out over a worker pool, but collects the per-shard results
-//! into a slot table indexed by shard and merges them **in shard order** —
-//! so the merged metrics are a pure function of the per-shard results, not
-//! of thread scheduling. Combined with [`DetRng::stream`](crate::DetRng::stream)
-//! for per-shard seeds, a sharded run is bit-for-bit reproducible at any
-//! thread count.
+//! shard indices out over a worker pool through a guided self-scheduling
+//! work queue (workers claim shrinking index chunks from one atomic cursor,
+//! so a straggling shard — e.g. the compromised platoon member doing extra
+//! attack work — never idles the other workers behind a static partition),
+//! collects the per-shard results into a slot table indexed by shard, and
+//! reduces them with [`MetricSet::merge_tree`] — a binary reduction whose
+//! merge order is fixed by shard index, not completion order. Combined with
+//! [`DetRng::stream`](crate::DetRng::stream) for per-shard seeds, a sharded
+//! run is bit-for-bit reproducible at any thread count.
 
 use crate::metrics::MetricSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means the machine's available
+/// parallelism (or 1 if unknown), anything else is taken literally.
+///
+/// Exposed so harness binaries can record the thread count a run actually
+/// used (`"threads"` in every `BENCH_*.json`) instead of the raw request.
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Claims the next chunk of work indices from `[next, limit)`, guided:
+/// chunk size starts near `remaining / (threads * 4)` and shrinks toward 1
+/// as the queue drains, so early chunks amortise the atomic traffic while
+/// the tail load-balances per index. Returns `None` when the range is
+/// exhausted. The CAS never moves the cursor past `limit`, so ranges can be
+/// stacked back-to-back (the epoch runner claims `[epoch*shards,
+/// (epoch+1)*shards)` from one monotonic cursor).
+pub(crate) fn claim_chunk(next: &AtomicU64, limit: u64, threads: usize) -> Option<(u64, u64)> {
+    loop {
+        let cur = next.load(Ordering::Relaxed);
+        if cur >= limit {
+            return None;
+        }
+        let remaining = limit - cur;
+        let chunk = (remaining / (threads as u64 * 4)).max(1);
+        let end = cur + chunk;
+        if next
+            .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Some((cur, end));
+        }
+    }
+}
 
 /// Runs `task(shard)` for every shard in `0..shards` on up to `threads`
 /// worker threads and merges the resulting metric sets in shard order.
 ///
-/// `threads == 0` uses the available parallelism (or 1 if unknown). The
-/// merge is deterministic: any thread count, including 1, produces an
-/// identical merged [`MetricSet`] as long as each shard's result depends
-/// only on its index.
+/// `threads == 0` uses the available parallelism (or 1 if unknown);
+/// `threads == 1` runs inline on the caller's thread with no
+/// synchronisation at all. The merge is deterministic: any thread count,
+/// including 1, produces an identical merged [`MetricSet`] as long as each
+/// shard's result depends only on its index.
 ///
 /// # Example
 /// ```
@@ -39,33 +80,40 @@ pub fn run_sharded<F>(shards: usize, threads: usize, task: F) -> MetricSet
 where
     F: Fn(usize) -> MetricSet + Sync,
 {
-    let threads = match threads {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
-    }
-    .min(shards.max(1));
+    let threads = resolve_threads(threads).min(shards.max(1));
 
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<MetricSet>>> = Mutex::new((0..shards).map(|_| None).collect());
+    if threads <= 1 {
+        let sets: Vec<MetricSet> = (0..shards).map(&task).collect();
+        return MetricSet::merge_tree(sets, 1);
+    }
+
+    let next = AtomicU64::new(0);
+    // One mutex per slot: result placement never contends across shards the
+    // way a single table-wide lock did.
+    let slots: Vec<Mutex<Option<MetricSet>>> = (0..shards).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= shards {
-                    break;
+            scope.spawn(|| {
+                while let Some((start, end)) = claim_chunk(&next, shards as u64, threads) {
+                    for i in start..end {
+                        let result = task(i as usize);
+                        *lock(&slots[i as usize]) = Some(result);
+                    }
                 }
-                let result = task(i);
-                lock(&slots)[i] = Some(result);
             });
         }
     });
 
-    let mut merged = MetricSet::new();
-    for m in slots.into_inner().unwrap_or_else(|e| e.into_inner()).into_iter().flatten() {
-        merged.merge(&m);
-    }
-    merged
+    let sets: Vec<MetricSet> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_default()
+        })
+        .collect();
+    MetricSet::merge_tree(sets, threads)
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -103,12 +151,14 @@ mod tests {
 
     #[test]
     fn all_shards_execute_exactly_once() {
-        let merged = run_sharded(100, 7, |_| {
-            let mut m = MetricSet::new();
-            m.count("ran", 1);
-            m
-        });
-        assert_eq!(merged.counter("ran"), 100);
+        for threads in [1, 2, 7] {
+            let merged = run_sharded(100, threads, |_| {
+                let mut m = MetricSet::new();
+                m.count("ran", 1);
+                m
+            });
+            assert_eq!(merged.counter("ran"), 100, "threads={threads}");
+        }
     }
 
     #[test]
@@ -126,5 +176,40 @@ mod tests {
             m
         });
         assert_eq!(merged.counter("sum"), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn claim_chunks_cover_a_range_exactly_once_and_shrink() {
+        let next = AtomicU64::new(0);
+        let mut covered = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some((start, end)) = claim_chunk(&next, 100, 4) {
+            sizes.push(end - start);
+            covered.extend(start..end);
+        }
+        assert_eq!(covered, (0..100).collect::<Vec<u64>>());
+        assert!(claim_chunk(&next, 100, 4).is_none());
+        assert_eq!(*sizes.first().unwrap(), 100 / 16, "guided: first chunk is big");
+        assert_eq!(*sizes.last().unwrap(), 1, "guided: tail chunks shrink to one");
+    }
+
+    #[test]
+    fn claim_chunk_respects_stacked_range_limits() {
+        // Epoch-style stacked ranges: draining [0, 5) must stop exactly at
+        // 5 so the next range [5, 10) starts aligned.
+        let next = AtomicU64::new(0);
+        while claim_chunk(&next, 5, 8).is_some() {}
+        assert_eq!(next.load(Ordering::Relaxed), 5);
+        let mut second = Vec::new();
+        while let Some((s, e)) = claim_chunk(&next, 10, 8) {
+            second.extend(s..e);
+        }
+        assert_eq!(second, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn resolve_threads_passes_explicit_counts_through() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
     }
 }

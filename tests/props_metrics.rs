@@ -1,0 +1,90 @@
+//! Property-based tests for the deterministic metric reduction: the
+//! tree-shaped merge behind `run_sharded`/`run_epochs` must be
+//! byte-identical to the historical serial shard-order fold — counters AND
+//! histograms, including raw (pre-sort) sample order — at any reduction
+//! parallelism.
+
+use polsec::sim::MetricSet;
+use proptest::prelude::*;
+
+/// Small fixed key pools so generated sets overlap (merging disjoint sets
+/// never exercises the interesting paths).
+const COUNTER_KEYS: [&str; 4] = ["frames", "attack.leaked", "plane.sent", "ota.applied"];
+const HISTOGRAM_KEYS: [&str; 3] = ["verdict_ns", "inbox.digest", "wall.decide_ns"];
+
+/// One shard's worth of metrics: a few counters and histogram samples
+/// drawn from the shared pools.
+fn arb_metric_set() -> impl Strategy<Value = MetricSet> {
+    let counters = prop::collection::vec((0usize..COUNTER_KEYS.len(), 0u64..1_000), 0..6);
+    let samples = prop::collection::vec((0usize..HISTOGRAM_KEYS.len(), 0u64..1 << 32), 0..12);
+    (counters, samples).prop_map(|(counters, samples)| {
+        let mut m = MetricSet::new();
+        for (k, n) in counters {
+            m.count(COUNTER_KEYS[k], n);
+        }
+        for (k, v) in samples {
+            m.observe(HISTOGRAM_KEYS[k], v);
+        }
+        m
+    })
+}
+
+/// The reference reduction: the serial shard-order fold `run_sharded` used
+/// before the tree merge existed.
+fn serial_fold(sets: &[MetricSet]) -> MetricSet {
+    let mut acc = MetricSet::new();
+    for set in sets {
+        acc.merge(set);
+    }
+    acc
+}
+
+/// Raw per-histogram sample sequences, captured before any quantile/JSON
+/// call can sort them — merge order must match exactly, not just as a
+/// multiset.
+fn raw_samples(set: &mut MetricSet) -> Vec<(String, Vec<u64>)> {
+    HISTOGRAM_KEYS
+        .iter()
+        .filter_map(|k| {
+            set.histogram_mut(k)
+                .map(|h| (k.to_string(), h.samples().to_vec()))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn tree_merge_is_byte_identical_to_serial_fold(
+        sets in prop::collection::vec(arb_metric_set(), 0..17),
+    ) {
+        let mut reference = serial_fold(&sets);
+        let reference_samples = raw_samples(&mut reference);
+        let reference_json = reference.to_json();
+        for threads in [1usize, 2, 4, 8] {
+            let mut tree = MetricSet::merge_tree(sets.clone(), threads);
+            prop_assert_eq!(
+                raw_samples(&mut tree),
+                reference_samples.clone(),
+                "raw sample order diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                tree.to_json(),
+                reference_json.clone(),
+                "merged JSON diverged at threads={}",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn tree_merge_counters_sum_exactly(
+        sets in prop::collection::vec(arb_metric_set(), 0..17),
+    ) {
+        let merged = MetricSet::merge_tree(sets.clone(), 4);
+        for key in COUNTER_KEYS {
+            let want: u64 = sets.iter().map(|s| s.counter(key)).sum();
+            prop_assert_eq!(merged.counter(key), want, "counter {} mis-summed", key);
+        }
+    }
+}
