@@ -1,9 +1,10 @@
 //! Layer 2: cross-layer coverage analysis of the fleet enforcement ladder.
 //!
-//! The fleet simulation (DESIGN.md §7) layers four *enforcing* rungs —
+//! The fleet simulation (DESIGN.md §7) layers five *enforcing* rungs —
 //! gateway whitelist, segment HPEs, per-node HPEs, per-component
-//! application policy — plus one *observational* rung, the shared engine
-//! auditing gateway crossings. This module recomputes, statically and
+//! application policy, and the behavioural anomaly monitor (DESIGN.md
+//! §13) — plus one *observational* rung, the shared engine auditing
+//! gateway crossings. This module recomputes, statically and
 //! without running a single frame, what each rung would do to every
 //! interesting frame class: each CAN identifier × traversal direction ×
 //! origin class. A class that no enforcing rung blocks or conditions is a
@@ -69,6 +70,10 @@ pub enum OriginClass {
     /// A compromised in-vehicle node (the door-lock implant of the fleet
     /// scenario) spoofing an identifier it does not own.
     InsideImplant,
+    /// The compromised *legitimate* sender (the sensor node of Table I
+    /// row 2): every identifier filter passes its frames by construction —
+    /// only payload inspection can constrain this class.
+    InsideSensor,
 }
 
 impl fmt::Display for OriginClass {
@@ -77,6 +82,7 @@ impl fmt::Display for OriginClass {
             OriginClass::Legit => "legit",
             OriginClass::ExternalObd => "external-obd",
             OriginClass::InsideImplant => "inside-implant",
+            OriginClass::InsideSensor => "inside-sensor",
         })
     }
 }
@@ -125,6 +131,9 @@ pub struct RungOutcomes {
     pub node: RungOutcome,
     /// Per-component application policy against the shared engine.
     pub app: RungOutcome,
+    /// The behavioural anomaly monitor: payload plausibility models on the
+    /// consuming node (content-conditioned, so at most `cond`).
+    pub anomaly: RungOutcome,
     /// The shared engine's crossing audit (observational).
     pub engine_audit: RungOutcome,
 }
@@ -175,11 +184,11 @@ pub struct LadderSpec {
 }
 
 impl LadderSpec {
-    /// The configuration the fleet actually ships: baseline enforcement,
-    /// the V2X-extended shared policy set, deny-overrides, the car's mode
-    /// machine.
+    /// The configuration the fleet actually ships: baseline enforcement
+    /// plus the behavioural anomaly rung, the V2X-extended shared policy
+    /// set, deny-overrides, the car's mode machine.
     pub fn shipped() -> Self {
-        LadderSpec::with_enforcement(FleetEnforcement::baseline())
+        LadderSpec::with_enforcement(FleetEnforcement::shipped())
     }
 
     /// Shipped artifacts under a different set of enforcement flags — the
@@ -216,11 +225,11 @@ impl LadderReport {
     /// Renders the coverage matrix as a fixed-width text table.
     pub fn matrix_text(&self) -> String {
         let mut out = String::from(
-            "id     direction origin          entry           gw    seg   node  app   audit cov\n",
+            "id     direction origin          entry           gw    seg   node  app   anom  audit cov\n",
         );
         for row in &self.matrix {
             out.push_str(&format!(
-                "0x{:03X}  {:<9} {:<15} {:<15} {:<5} {:<5} {:<5} {:<5} {:<5} {}\n",
+                "0x{:03X}  {:<9} {:<15} {:<15} {:<5} {:<5} {:<5} {:<5} {:<5} {:<5} {}\n",
                 row.id,
                 row.direction.to_string(),
                 row.origin.to_string(),
@@ -229,6 +238,7 @@ impl LadderReport {
                 row.outcomes.segment.to_string(),
                 row.outcomes.node.to_string(),
                 row.outcomes.app.to_string(),
+                row.outcomes.anomaly.to_string(),
                 row.outcomes.engine_audit.to_string(),
                 if row.covered { "yes" } else { "NO" },
             ));
@@ -513,6 +523,19 @@ fn evaluate_row(spec: &LadderSpec, input: &RowInput) -> CoverageRow {
         Some(outcome) if enf.app_policy => outcome,
         _ => RungOutcome::NotApplicable,
     };
+    // The behavioural monitor corroborates crash payloads on the consuming
+    // EV-ECU against wheel-speed/proximity evidence. It judges content, so
+    // it conditions the class rather than blocking it outright — and it is
+    // the only rung that can constrain the compromised-legitimate-sender
+    // class at all.
+    let anomaly = if enf.anomaly
+        && input.id == messages::SENSOR_CRASH
+        && matches!(input.direction, Direction::LocalA | Direction::BtoA)
+    {
+        RungOutcome::Conditions
+    } else {
+        RungOutcome::NotApplicable
+    };
     // The shared engine only ever sees gateway crossings, and its check is
     // observational: `check_crossing` counts `policy.denied` but drops
     // nothing, so the rung never contributes to coverage.
@@ -521,7 +544,7 @@ fn evaluate_row(spec: &LadderSpec, input: &RowInput) -> CoverageRow {
         _ => RungOutcome::NotApplicable,
     };
 
-    let covered = [gateway, segment, node, app]
+    let covered = [gateway, segment, node, app, anomaly]
         .iter()
         .any(|o| o.constrains());
 
@@ -535,6 +558,7 @@ fn evaluate_row(spec: &LadderSpec, input: &RowInput) -> CoverageRow {
             segment,
             node,
             app,
+            anomaly,
             engine_audit,
         },
         covered,
@@ -612,6 +636,18 @@ fn enumerate_classes(ladder: &LadderDescription) -> Vec<RowInput> {
             transmitter: Some("door-locks"),
         });
     }
+    // The compromised legitimate sender (Table I row 2): the sensor node
+    // broadcasting a forged crash payload under its own identifier. Every
+    // identifier-based rung passes this class by construction — it exists
+    // in the matrix regardless of the attack roster, because it is a
+    // property of identifier filtering itself.
+    rows.push(RowInput {
+        id: messages::SENSOR_CRASH,
+        direction: Direction::LocalA,
+        origin: OriginClass::InsideSensor,
+        claimed_entry: "sensors",
+        transmitter: Some("sensors"),
+    });
     rows
 }
 
@@ -680,6 +716,9 @@ pub fn analyze_ladder(spec: &LadderSpec) -> LadderReport {
         }
         if enf.app_policy {
             rungs.push("app-policy".to_string());
+        }
+        if enf.anomaly {
+            rungs.push("anomaly".to_string());
         }
         rungs
     };
@@ -843,6 +882,27 @@ mod tests {
         let text = result.matrix_text();
         assert_eq!(text.lines().count(), result.matrix.len() + 1);
         assert!(text.contains("inside-implant"));
+        assert!(text.contains("inside-sensor"));
         assert!(text.contains("0x050"));
+    }
+
+    #[test]
+    fn only_the_anomaly_rung_constrains_the_inside_sensor_class() {
+        let result = analyze_ladder(&LadderSpec::shipped());
+        let row = result
+            .matrix
+            .iter()
+            .find(|r| r.origin == OriginClass::InsideSensor)
+            .expect("the Table I row-2 class is always enumerated");
+        assert!(row.covered);
+        assert_eq!(row.outcomes.anomaly, RungOutcome::Conditions);
+        for (rung, outcome) in [
+            ("gateway", row.outcomes.gateway),
+            ("segment", row.outcomes.segment),
+            ("node", row.outcomes.node),
+            ("app", row.outcomes.app),
+        ] {
+            assert!(!outcome.constrains(), "{rung} must not constrain the class");
+        }
     }
 }

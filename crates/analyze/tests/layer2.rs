@@ -8,7 +8,7 @@ use polsec_analyze::{
     analyze_ladder, Direction, FindingKind, LadderSpec, OriginClass, RungOutcome, Severity,
 };
 use polsec_car::messages::{
-    ECU_COMMAND, EPS_COMMAND, MODEM_CONTROL, V2X_HEALTH, V2X_LEAD,
+    ECU_COMMAND, EPS_COMMAND, MODEM_CONTROL, SENSOR_CRASH, V2X_HEALTH, V2X_LEAD,
 };
 use polsec_car::{car_policy, FleetEnforcement};
 use polsec_core::PolicySet;
@@ -52,7 +52,7 @@ fn removing_the_node_hpes_opens_local_holes() {
     // system) and local modem takeover frames never cross the gateway.
     let spec = LadderSpec::with_enforcement(FleetEnforcement {
         node_hpe: false,
-        ..FleetEnforcement::baseline()
+        ..FleetEnforcement::shipped()
     });
     let holes = error_holes(&spec);
     assert_eq!(
@@ -73,11 +73,11 @@ fn gateway_and_segment_rungs_are_individually_redundant() {
     for (name, enforcement) in [
         (
             "gateway off",
-            FleetEnforcement { gateway_whitelist: false, ..FleetEnforcement::baseline() },
+            FleetEnforcement { gateway_whitelist: false, ..FleetEnforcement::shipped() },
         ),
         (
             "segment off",
-            FleetEnforcement { segment_hpe: false, ..FleetEnforcement::baseline() },
+            FleetEnforcement { segment_hpe: false, ..FleetEnforcement::shipped() },
         ),
     ] {
         let spec = LadderSpec::with_enforcement(enforcement);
@@ -113,7 +113,7 @@ fn removing_both_crossing_rungs_opens_the_spoofed_command_holes() {
     let spec = LadderSpec::with_enforcement(FleetEnforcement {
         gateway_whitelist: false,
         segment_hpe: false,
-        ..FleetEnforcement::baseline()
+        ..FleetEnforcement::shipped()
     });
     let holes = error_holes(&spec);
     assert_eq!(
@@ -128,15 +128,38 @@ fn removing_both_crossing_rungs_opens_the_spoofed_command_holes() {
 #[test]
 fn the_unprotected_fleet_leaks_every_attack_row() {
     let holes = error_holes(&LadderSpec::with_enforcement(FleetEnforcement::none()));
-    assert_eq!(holes.len(), 5, "all four external rows plus the implant leak");
+    assert_eq!(
+        holes.len(),
+        6,
+        "all four external rows plus the implant and the compromised sensor leak"
+    );
     assert!(holes.contains(&(ECU_COMMAND, Direction::LocalA, OriginClass::InsideImplant)));
+    assert!(holes.contains(&(SENSOR_CRASH, Direction::LocalA, OriginClass::InsideSensor)));
+}
+
+#[test]
+fn removing_the_anomaly_rung_reopens_table_i_row_2() {
+    // The rung-removal experiment the anomaly layer exists for: baseline
+    // enforcement (= shipped minus the behavioural rung) passes the
+    // compromised sensor's forged crash payload through every identifier
+    // filter — the exact Table I row-2 hole — and nothing else changes.
+    let spec = LadderSpec::with_enforcement(FleetEnforcement {
+        anomaly: false,
+        ..FleetEnforcement::shipped()
+    });
+    let holes = error_holes(&spec);
+    assert_eq!(
+        holes,
+        vec![(SENSOR_CRASH, Direction::LocalA, OriginClass::InsideSensor)],
+        "only the row-2 class depends on the anomaly rung"
+    );
 }
 
 #[test]
 fn coverage_holes_name_the_enabled_rungs() {
     let spec = LadderSpec::with_enforcement(FleetEnforcement {
         node_hpe: false,
-        ..FleetEnforcement::baseline()
+        ..FleetEnforcement::shipped()
     });
     let result = analyze_ladder(&spec);
     let holes = result.report.of_kind(FindingKind::CoverageHole);
@@ -145,7 +168,7 @@ fn coverage_holes_name_the_enabled_rungs() {
         assert_eq!(f.severity, Severity::Error);
         assert_eq!(
             f.rule_ids,
-            vec!["gateway-whitelist", "segment-hpe"],
+            vec!["gateway-whitelist", "segment-hpe", "anomaly"],
             "a hole lists exactly the rungs that were on and still missed it"
         );
     }

@@ -11,7 +11,7 @@
 //! ```
 //!
 //! A counting global allocator asserts the §8 contract: once the
-//! [`EncodeBuf`] is warm, the steady-state encode, `wire_len` and packed
+//! [`codec::EncodeBuf`] is warm, the steady-state encode, `wire_len` and packed
 //! decode paths perform **zero heap allocations**. The process exits
 //! non-zero if that contract is violated, or if any encoded frame disagrees
 //! with the `Vec<bool>` reference implementation (a cheap last-line

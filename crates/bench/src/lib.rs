@@ -20,6 +20,7 @@
 //! and the CAN codec.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Prints a section header used by all harness binaries.
 pub fn banner(title: &str) {

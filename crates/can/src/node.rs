@@ -40,7 +40,7 @@ const INLINE_ACTIONS: usize = 4;
 
 /// A small-vector of [`FirmwareAction`]s returned by [`Firmware`] hooks.
 ///
-/// The first [`INLINE_ACTIONS`] actions live inline in the return value, so
+/// The first `INLINE_ACTIONS` (4) actions live inline in the return value, so
 /// a responding tick or frame costs **zero heap allocations** on the action
 /// path — the fleet profile used to spend ~0.6 allocations per frame on the
 /// `Vec<FirmwareAction>` this type replaced. Longer answers spill into a

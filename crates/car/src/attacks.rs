@@ -398,6 +398,37 @@ mod tests {
     }
 
     #[test]
+    fn anomaly_rung_closes_the_row_2_gap() {
+        // Table I row 2, the documented gap: with the behavioural rung
+        // the uncorroborated crash report is suppressed.
+        let mut car = CarBuilder::new()
+            .enforcement(EnforcementConfig::full_with_anomaly())
+            .build();
+        car.set_mode(AttackId::SpoofEcuViaSensors.natural_mode());
+        let outcome = AttackId::SpoofEcuViaSensors.execute(&mut car);
+        assert_eq!(outcome, AttackOutcome::Blocked);
+        assert!(lock(&car.states().ecu).implausible_crashes > 0);
+        let monitor = car.monitor().expect("anomaly config installs the monitor");
+        assert!(lock(monitor).counters.inconsistent > 0);
+
+        // The rung judges payload plausibility, not identity, so it
+        // closes the row even with every ID-based layer off.
+        let anomaly_only = EnforcementConfig { anomaly: true, ..EnforcementConfig::none() };
+        assert_eq!(run(AttackId::SpoofEcuViaSensors, anomaly_only), AttackOutcome::Blocked);
+    }
+
+    #[test]
+    fn full_ladder_with_anomaly_stops_every_attack() {
+        for attack in AttackId::ALL {
+            let outcome = run(attack, EnforcementConfig::full_with_anomaly());
+            assert!(
+                outcome != AttackOutcome::Succeeded,
+                "{attack} must not succeed once the anomaly rung closes row 2 (got {outcome:?})"
+            );
+        }
+    }
+
+    #[test]
     fn mac_contains_the_infotainment_exploit() {
         let outcome = run(AttackId::InfotainmentEscalation, EnforcementConfig::mac_only());
         assert_eq!(outcome, AttackOutcome::Blocked);

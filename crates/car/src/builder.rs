@@ -1,10 +1,11 @@
 //! Assembling the car (Fig. 2) under an enforcement configuration.
 
+use crate::anomaly::EcuMonitor;
 use crate::components::{
-    door_locks_firmware, ecu_firmware, engine_firmware, eps_firmware, infotainment_firmware,
-    lock, safety_firmware, sensors_firmware, shared, telematics_firmware, AppPolicy,
-    DoorLockState, EcuState, EngineState, EpsState, InfotainmentState, SafetyState, SensorState,
-    Shared, TelematicsState,
+    door_locks_firmware, ecu_firmware_monitored, engine_firmware, eps_firmware,
+    infotainment_firmware, lock, safety_firmware, sensors_firmware, shared,
+    telematics_firmware, AppPolicy, DoorLockState, EcuState, EngineState, EpsState,
+    InfotainmentState, SafetyState, SensorState, Shared, TelematicsState,
 };
 use crate::components::infotainment::SharedEnforcer;
 use crate::messages::{legitimate_reads, legitimate_writes};
@@ -32,6 +33,9 @@ pub struct EnforcementConfig {
     pub mac: bool,
     /// Hardware policy engines interposed on every node.
     pub hpe: bool,
+    /// Behavioural anomaly monitor on the EV-ECU (the plausibility rung
+    /// closing Table I row 2).
+    pub anomaly: bool,
 }
 
 impl EnforcementConfig {
@@ -60,20 +64,32 @@ impl EnforcementConfig {
         EnforcementConfig { hpe: true, ..Self::default() }
     }
 
-    /// Everything on (defence in depth).
+    /// Everything the paper evaluates (defence in depth). Deliberately
+    /// excludes the anomaly rung: the paper's ladder has a documented
+    /// gap at Table I row 2, and the attack-matrix experiments pin it.
     pub fn full() -> Self {
         EnforcementConfig {
             software_filters: true,
             app_policy: true,
             mac: true,
             hpe: true,
+            anomaly: false,
         }
+    }
+
+    /// Defence in depth plus the behavioural anomaly rung — the
+    /// configuration that also closes Table I row 2.
+    pub fn full_with_anomaly() -> Self {
+        EnforcementConfig { anomaly: true, ..Self::full() }
     }
 
     /// A short label for reports.
     pub fn label(&self) -> String {
         if *self == Self::full() {
             return "full".into();
+        }
+        if *self == Self::full_with_anomaly() {
+            return "full+anomaly".into();
         }
         let mut parts = Vec::new();
         if self.software_filters {
@@ -87,6 +103,9 @@ impl EnforcementConfig {
         }
         if self.hpe {
             parts.push("hpe");
+        }
+        if self.anomaly {
+            parts.push("anomaly");
         }
         if parts.is_empty() {
             "none".into()
@@ -124,6 +143,7 @@ pub struct Car {
     ctx: Shared<EvalContext>,
     app: Option<AppPolicy>,
     mac: Option<SharedEnforcer>,
+    monitor: Option<Shared<EcuMonitor>>,
     hpes: BTreeMap<String, HardwarePolicyEngine>,
     nodes: BTreeMap<String, NodeHandle>,
     states: CarStates,
@@ -193,8 +213,9 @@ impl CarBuilder {
             )
         });
         let mac = config.mac.then(head_unit_mac);
+        let monitor = config.anomaly.then(|| shared(EcuMonitor::default()));
 
-        let (ecu_fw, ecu) = ecu_firmware(app.clone());
+        let (ecu_fw, ecu) = ecu_firmware_monitored(app.clone(), monitor.clone());
         let (eps_fw, eps) = eps_firmware(app.clone());
         let (engine_fw, engine) = engine_firmware(app.clone());
         let (tel_fw, telematics) = telematics_firmware(app.clone());
@@ -262,6 +283,7 @@ impl CarBuilder {
             ctx,
             app,
             mac,
+            monitor,
             hpes,
             nodes,
             states,
@@ -315,6 +337,11 @@ impl Car {
     /// The head-unit MAC enforcer, when configured.
     pub fn mac(&self) -> Option<&SharedEnforcer> {
         self.mac.as_ref()
+    }
+
+    /// The ECU's behavioural anomaly monitor, when configured.
+    pub fn monitor(&self) -> Option<&Shared<EcuMonitor>> {
+        self.monitor.as_ref()
     }
 
     /// A node's HPE maintenance handle, when configured.
@@ -463,6 +490,9 @@ mod tests {
         assert_eq!(EnforcementConfig::hpe_only().label(), "hpe");
         let combo = EnforcementConfig { app_policy: true, hpe: true, ..Default::default() };
         assert_eq!(combo.label(), "app-policy+hpe");
+        assert_eq!(EnforcementConfig::full_with_anomaly().label(), "full+anomaly");
+        let anomaly_only = EnforcementConfig { anomaly: true, ..Default::default() };
+        assert_eq!(anomaly_only.label(), "anomaly");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! abuse of these paths with spoofed frames.
 
 use super::{lock, policy_permits, shared, AppPolicy, Shared};
+use crate::anomaly::EcuMonitor;
 use crate::messages::{self, parse_command};
 use polsec_can::{ActionVec, CanFrame, Firmware, FirmwareAction};
 use polsec_core::Action;
@@ -46,6 +47,9 @@ pub struct EcuState {
     pub degraded_events: u32,
     /// Limp-home exits honoured.
     pub resumed_events: u32,
+    /// Crash reports suppressed by the behavioural monitor as
+    /// implausible (Table I row 2 value spoofs).
+    pub implausible_crashes: u32,
 }
 
 impl Default for EcuState {
@@ -62,6 +66,7 @@ impl Default for EcuState {
             platoon_gap_m: NORMAL_GAP_M,
             degraded_events: 0,
             resumed_events: 0,
+            implausible_crashes: 0,
         }
     }
 }
@@ -69,15 +74,29 @@ impl Default for EcuState {
 struct EcuFirmware {
     state: Shared<EcuState>,
     policy: Option<AppPolicy>,
+    monitor: Option<Shared<EcuMonitor>>,
 }
 
 /// Creates the EV-ECU firmware and its state handle.
 pub fn ecu_firmware(policy: Option<AppPolicy>) -> (Box<dyn Firmware>, Shared<EcuState>) {
+    ecu_firmware_monitored(policy, None)
+}
+
+/// Creates the EV-ECU firmware with an optional behavioural monitor (the
+/// anomaly rung): when present, crash reports are corroborated against
+/// the wheel-speed and proximity broadcasts before the hardwired
+/// propulsion cut-off fires, and the monitor's verdict is published to
+/// the policy layer as `state.implausible`.
+pub fn ecu_firmware_monitored(
+    policy: Option<AppPolicy>,
+    monitor: Option<Shared<EcuMonitor>>,
+) -> (Box<dyn Firmware>, Shared<EcuState>) {
     let state = shared(EcuState::default());
     (
         Box::new(EcuFirmware {
             state: state.clone(),
             policy,
+            monitor,
         }),
         state,
     )
@@ -113,10 +132,47 @@ impl Firmware for EcuFirmware {
             messages::SENSOR_CRASH => {
                 // Hardwired safety reaction: a crash report stops propulsion.
                 if frame.payload().first().copied().unwrap_or(0) > 0 {
+                    // Anomaly rung (Table I row 2): corroborate the report
+                    // against the kinematic evidence before actuating. A
+                    // value spoof from the legitimate sensor node passes
+                    // every ID-based rung; only the behavioural monitor can
+                    // tell that nothing in the wheel-speed or proximity
+                    // stream supports a crash.
+                    if let Some(monitor) = &self.monitor {
+                        let verdict = lock(monitor).judge_crash();
+                        if verdict.flagged() {
+                            let mut s = lock(&self.state);
+                            s.implausible_crashes += 1;
+                            if let Some(policy) = &self.policy {
+                                policy.set_state("implausible", "true");
+                            }
+                            return ActionVec::one(FirmwareAction::Log(
+                                "ecu: crash report failed plausibility check".into(),
+                            ));
+                        }
+                    }
                     let mut s = lock(&self.state);
                     s.propulsion_enabled = false;
                     s.disable_events += 1;
                     s.crash_reactions += 1;
+                }
+                ActionVec::new()
+            }
+            messages::SENSOR_WHEEL_SPEED => {
+                // Feed the behavioural monitor; the ECU has no other use
+                // for the broadcast.
+                if let (Some(monitor), Some(&kmh)) =
+                    (&self.monitor, frame.payload().first())
+                {
+                    lock(monitor).observe_wheel(kmh);
+                }
+                ActionVec::new()
+            }
+            messages::SENSOR_PROXIMITY => {
+                if let (Some(monitor), Some(&warn)) =
+                    (&self.monitor, frame.payload().first())
+                {
+                    lock(monitor).observe_proximity(warn > 0);
                 }
                 ActionVec::new()
             }
@@ -359,6 +415,62 @@ mod tests {
             CanFrame::data(polsec_can::CanId::Standard(messages::V2X_HEALTH), &[]).unwrap();
         fw.on_frame(SimTime::ZERO, &empty);
         assert!(!lock(&state).degraded);
+    }
+
+    fn crash_frame() -> CanFrame {
+        CanFrame::data(polsec_can::CanId::Standard(messages::SENSOR_CRASH), &[1]).unwrap()
+    }
+
+    fn wheel_frame(kmh: u8) -> CanFrame {
+        CanFrame::data(
+            polsec_can::CanId::Standard(messages::SENSOR_WHEEL_SPEED),
+            &[kmh, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn monitored_ecu_suppresses_uncorroborated_crash_reports() {
+        // Table I row 2: the compromised sensor node injects a crash
+        // report before the vehicle has any wheel-speed history.
+        let monitor = shared(EcuMonitor::default());
+        let (mut fw, state) = ecu_firmware_monitored(None, Some(monitor.clone()));
+        fw.on_frame(SimTime::ZERO, &crash_frame());
+        let s = lock(&state);
+        assert!(s.propulsion_enabled, "implausible crash must not stop the car");
+        assert_eq!(s.crash_reactions, 0);
+        assert_eq!(s.implausible_crashes, 1);
+        drop(s);
+        assert_eq!(lock(&monitor).counters.inconsistent, 1);
+    }
+
+    #[test]
+    fn monitored_ecu_honours_corroborated_crash_reports() {
+        let monitor = shared(EcuMonitor::default());
+        let (mut fw, state) = ecu_firmware_monitored(None, Some(monitor));
+        fw.on_frame(SimTime::ZERO, &wheel_frame(60));
+        fw.on_frame(SimTime::ZERO, &wheel_frame(20)); // hard deceleration
+        let prox = CanFrame::data(
+            polsec_can::CanId::Standard(messages::SENSOR_PROXIMITY),
+            &[1],
+        )
+        .unwrap();
+        fw.on_frame(SimTime::ZERO, &prox);
+        fw.on_frame(SimTime::ZERO, &crash_frame());
+        let s = lock(&state);
+        assert!(!s.propulsion_enabled, "a corroborated crash still stops the car");
+        assert_eq!(s.crash_reactions, 1);
+        assert_eq!(s.implausible_crashes, 0);
+    }
+
+    #[test]
+    fn implausible_crash_is_published_as_policy_state() {
+        let app = policy_point();
+        let monitor = shared(EcuMonitor::default());
+        let (mut fw, _state) =
+            ecu_firmware_monitored(Some(app.clone()), Some(monitor));
+        fw.on_frame(SimTime::ZERO, &crash_frame());
+        assert_eq!(app.state("implausible").as_deref(), Some("true"));
     }
 
     #[test]

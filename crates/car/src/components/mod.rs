@@ -23,7 +23,7 @@ pub mod sensors;
 pub mod telematics;
 
 pub use door_locks::{door_locks_firmware, DoorLockState};
-pub use ecu::{ecu_firmware, EcuState};
+pub use ecu::{ecu_firmware, ecu_firmware_monitored, EcuState};
 pub use engine::{engine_firmware, EngineState};
 pub use eps::{eps_firmware, EpsState};
 pub use infotainment::{infotainment_firmware, InfotainmentState};
@@ -108,8 +108,12 @@ impl AppPolicy {
     }
 
     /// Sets a situational state variable (e.g. `crash = true`).
+    ///
+    /// Uses the context's in-place writer: components that republish the
+    /// same key every frame (the behavioural monitor's `implausible`
+    /// flag) do not allocate after the first write.
     pub fn set_state(&self, key: &str, value: &str) {
-        lock(&self.ctx).set_state(key, value);
+        lock(&self.ctx).set_state_in_place(key, value);
     }
 
     /// Reads a situational state variable.

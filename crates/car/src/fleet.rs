@@ -30,11 +30,13 @@
 //! attack accounting — must replay identically, and `polsec-bench`'s `fleet`
 //! binary asserts that it does.
 
+use crate::anomaly::EcuMonitor;
 use crate::attacks::SpoofFirmware;
 use crate::builder::CarStates;
 use crate::components::{
-    door_locks_firmware, ecu_firmware, engine_firmware, eps_firmware, infotainment_firmware,
-    lock, safety_firmware, sensors_firmware, shared, telematics_firmware, AppPolicy,
+    door_locks_firmware, ecu_firmware_monitored, engine_firmware, eps_firmware,
+    infotainment_firmware, lock, safety_firmware, sensors_firmware, shared,
+    telematics_firmware, AppPolicy, Shared,
 };
 use crate::messages::{
     self, command_frame, legitimate_reads, legitimate_writes, parse_command, Origin,
@@ -114,18 +116,26 @@ pub struct FleetEnforcement {
     /// fleet-shared engine, with a **per-vehicle rate scope** so the
     /// engine's rate trackers cannot couple concurrently-running vehicles.
     pub app_policy: bool,
+    /// The behavioural anomaly rung: a per-vehicle [`EcuMonitor`] on the
+    /// EV-ECU corroborating crash reports against the wheel-speed and
+    /// proximity streams, plus the payload-plausibility check on the V2X
+    /// ingest ladder. Closes Table I row 2 (value spoof from the
+    /// legitimate sensor node), which every ID-based rung passes.
+    pub anomaly: bool,
 }
 
 impl FleetEnforcement {
     /// The baseline policy: every hardware/gateway layer on (the software
-    /// layer is a separate ladder rung — see
-    /// [`FleetEnforcement::full_with_app`]).
+    /// and behavioural layers are separate ladder rungs — see
+    /// [`FleetEnforcement::full_with_app`] and
+    /// [`FleetEnforcement::shipped`]).
     pub fn baseline() -> Self {
         FleetEnforcement {
             gateway_whitelist: true,
             node_hpe: true,
             segment_hpe: true,
             app_policy: false,
+            anomaly: false,
         }
     }
 
@@ -137,6 +147,16 @@ impl FleetEnforcement {
         }
     }
 
+    /// The configuration the fleet ships with: the hardware baseline plus
+    /// the behavioural anomaly rung — the ladder with no known Table I
+    /// coverage hole.
+    pub fn shipped() -> Self {
+        FleetEnforcement {
+            anomaly: true,
+            ..Self::baseline()
+        }
+    }
+
     /// Everything off (the unprotected fleet).
     pub fn none() -> Self {
         FleetEnforcement {
@@ -144,6 +164,7 @@ impl FleetEnforcement {
             node_hpe: false,
             segment_hpe: false,
             app_policy: false,
+            anomaly: false,
         }
     }
 
@@ -161,6 +182,9 @@ impl FleetEnforcement {
         }
         if self.app_policy {
             parts.push("app");
+        }
+        if self.anomaly {
+            parts.push("anomaly");
         }
         if parts.is_empty() {
             "none".into()
@@ -319,6 +343,7 @@ pub struct Vehicle {
     telematics: NodeHandle,
     engine: Arc<PolicyEngine>,
     app: Option<crate::components::AppPolicy>,
+    monitor: Option<Shared<EcuMonitor>>,
     ctx: EvalContext,
     rng: DetRng,
     scheduler: Scheduler<VehicleEvent>,
@@ -509,7 +534,15 @@ impl Vehicle {
             AppPolicy::new(Arc::clone(&engine), ctx).with_rate_scope(index as u64)
         });
 
-        let (ecu_fw, ecu) = ecu_firmware(app.clone());
+        // The behavioural rung: one monitor per vehicle, fed only from the
+        // frames its ECU receives — no RNG draws, no clock reads — so the
+        // rung cannot perturb the vehicle's deterministic event stream.
+        let monitor = cfg
+            .enforcement
+            .anomaly
+            .then(|| shared(EcuMonitor::default()));
+
+        let (ecu_fw, ecu) = ecu_firmware_monitored(app.clone(), monitor.clone());
         let (eps_fw, eps) = eps_firmware(app.clone());
         let (engine_fw, engine_state) = engine_firmware(app.clone());
         let (tel_fw, telematics) = telematics_firmware(app.clone());
@@ -670,6 +703,7 @@ impl Vehicle {
             telematics: telematics_node.expect("telematics is a comfort node"),
             engine,
             app,
+            monitor,
             ctx,
             rng,
             scheduler,
@@ -971,8 +1005,30 @@ impl Vehicle {
             "bus.recoveries",
             "app.rejected",
             "app.implausible",
+            "anomaly.checked",
+            "anomaly.flagged",
+            "anomaly.rate_jump",
+            "anomaly.out_of_range",
+            "anomaly.stuck",
+            "anomaly.inconsistent",
+            "anomaly.implausible_crashes",
         ] {
             self.metrics.count(key, 0);
+        }
+        if let Some(monitor) = &self.monitor {
+            let c = lock(monitor).counters;
+            self.metrics.count("anomaly.checked", u64::from(c.checked));
+            self.metrics.count("anomaly.flagged", u64::from(c.flagged));
+            self.metrics.count("anomaly.rate_jump", u64::from(c.rate_jump));
+            self.metrics
+                .count("anomaly.out_of_range", u64::from(c.out_of_range));
+            self.metrics.count("anomaly.stuck", u64::from(c.stuck));
+            self.metrics
+                .count("anomaly.inconsistent", u64::from(c.inconsistent));
+            self.metrics.count(
+                "anomaly.implausible_crashes",
+                u64::from(lock(&self.states.ecu).implausible_crashes),
+            );
         }
         for bus in [&self.powertrain, &self.comfort] {
             let stats = bus.stats();
@@ -1233,10 +1289,8 @@ mod tests {
         // AppPolicy (sharing the fleet engine) rejects them.
         let mut cfg = FleetConfig::new(1, 500);
         cfg.enforcement = FleetEnforcement {
-            gateway_whitelist: false,
-            node_hpe: false,
-            segment_hpe: false,
             app_policy: true,
+            ..FleetEnforcement::none()
         };
         cfg.inside_attack_chance = 0.0;
         let engine = Arc::new(PolicyEngine::from_policy(car_policy()));
@@ -1273,11 +1327,44 @@ mod tests {
         assert_eq!(FleetEnforcement::none().label(), "none");
         let gw_only = FleetEnforcement {
             gateway_whitelist: true,
-            node_hpe: false,
-            segment_hpe: false,
-            app_policy: false,
+            ..FleetEnforcement::none()
         };
         assert_eq!(gw_only.label(), "gw");
         assert_eq!(FleetEnforcement::full_with_app().label(), "gw+hpe+seg-hpe+app");
+        assert_eq!(FleetEnforcement::shipped().label(), "gw+hpe+seg-hpe+anomaly");
+    }
+
+    #[test]
+    fn shipped_fleet_observes_signals_and_leaks_nothing() {
+        let report = run_fleet(&tiny(FleetEnforcement::shipped()));
+        assert_eq!(report.leaked(), 0, "the extra rung must not weaken the ladder");
+        assert!(
+            report.metrics.counter("anomaly.checked") > 0,
+            "monitors must see the wheel-speed broadcasts"
+        );
+        assert_eq!(
+            report.metrics.counter("anomaly.flagged"),
+            0,
+            "legitimate sensor traffic must never be flagged"
+        );
+    }
+
+    #[test]
+    fn anomaly_fleet_runs_replay_byte_identically() {
+        // The behavioural monitors draw no RNG and read no clock: merged
+        // metrics — anomaly.* included — stay a pure function of
+        // (config, seed) at 1, 4 and 8 worker threads.
+        let cfg = tiny(FleetEnforcement::shipped());
+        let mut baseline = None;
+        for threads in [1, 4, 8] {
+            let mut run_cfg = cfg.clone();
+            run_cfg.threads = threads;
+            let mut report = run_fleet(&run_cfg);
+            let json = report.metrics.to_json();
+            match &baseline {
+                None => baseline = Some(json),
+                Some(expected) => assert_eq!(expected, &json, "threads={threads}"),
+            }
+        }
     }
 }

@@ -8,6 +8,9 @@
 //!
 //! * [`messages`] — the CAN identifier map and each node's legitimate
 //!   read/write communication matrix,
+//! * [`anomaly`] — the behavioural plausibility rung: per-signal range /
+//!   rate / stuck-value models plus cross-signal consistency, closing
+//!   Table I row 2 (value spoof from the legitimate sensor node),
 //! * [`CarMode`] — Normal / Remote Diagnostic / Fail-safe with transitions,
 //! * [`components`] — firmware state machines for EV-ECU, EPS, engine,
 //!   telematics, infotainment, door locks, safety-critical system, sensors,
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod attacks;
 pub mod builder;
 pub mod components;
@@ -48,6 +52,10 @@ pub mod security_model;
 pub mod threats;
 pub mod v2x;
 
+pub use anomaly::{
+    cross_signal_verdict, AnomalyCounters, AnomalyVerdict, EcuMonitor, KinematicSample,
+    PlatoonMonitor, SignalMonitor, SignalSpec,
+};
 pub use attacks::AttackId;
 pub use builder::{Car, CarBuilder, EnforcementConfig};
 pub use fleet::{

@@ -13,15 +13,22 @@
 //!
 //! 1. **Platooning** — the lead vehicle broadcasts authenticated
 //!    speed/brake messages to the platoon group. A follower accepts a
-//!    broadcast only after a three-rung ladder:
+//!    broadcast only after a four-rung ladder:
 //!    * **auth** — an HMAC tag under the fleet V2X key (defeats the
 //!      spoofed-lead and tampered-payload attack variants),
-//!    * **replay window** — the lead's sequence number must advance
-//!      (defeats the replayed-broadcast variant),
+//!    * **replay window** — the claimed lead's sequence number must
+//!      advance (defeats the replayed-broadcast variant),
 //!    * **policy** — the claimed remote origin is judged as a boundary
 //!      *Write* on the `v2x-platoon` asset against the vehicle's **own
 //!      policy store** — which only allows it after the OTA rollout below
-//!      has delivered the `v2x-platoon` policy.
+//!      has delivered the `v2x-platoon` policy,
+//!    * **anomaly** — the payload must be behaviourally plausible
+//!      ([`crate::anomaly::PlatoonMonitor`]): range, rate-of-change and
+//!      stuck-value bounds on the advertised speed plus brake/speed
+//!      cross-consistency. This is the only rung that stops the
+//!      **value-spoof** variant — a key-holding member broadcasting
+//!      implausible values under a perfectly valid identity (Table I
+//!      row 2 lifted onto the V2X plane).
 //!
 //!    An accepted message is then relayed onto the in-vehicle network
 //!    ([`Vehicle::relay_v2x`]): telematics → gateway whitelist → segment
@@ -36,7 +43,7 @@
 //!    be rejected by every vehicle while the legitimate waves complete.
 //!
 //! The compromised member (the highest shard index, when attacks are on)
-//! also rotates through the four platoon attack variants, one per epoch.
+//! also rotates through the five platoon attack variants, one per epoch.
 //! Ground truth for leak accounting is the envelope's sender shard: an
 //! accepted platoon message from the attacker counts as `v2x.leaked`.
 //!
@@ -65,6 +72,7 @@
 //!   under heavy loss while version monotonicity keeps re-deliveries from
 //!   double-applying.
 
+use crate::anomaly::{PlatoonMonitor, IMPLAUSIBLE_SPEED_KMH};
 use crate::fleet::{FleetConfig, Vehicle};
 use crate::modes::{LimpTransition, PlatoonHealth};
 use crate::security_model::car_policy;
@@ -211,6 +219,10 @@ pub struct V2xDefenses {
     /// Judge the claimed origin against the vehicle's own policy store
     /// (which only permits platoon writes after the OTA rollout).
     pub policy_check: bool,
+    /// Judge the payload against the behavioural models (range, rate,
+    /// stuck-value, brake/speed consistency) — the only rung that stops a
+    /// key-holding member broadcasting implausible values.
+    pub anomaly: bool,
 }
 
 impl V2xDefenses {
@@ -220,6 +232,7 @@ impl V2xDefenses {
             auth: true,
             replay_window: true,
             policy_check: true,
+            anomaly: true,
         }
     }
 
@@ -229,6 +242,7 @@ impl V2xDefenses {
             auth: false,
             replay_window: false,
             policy_check: false,
+            anomaly: false,
         }
     }
 
@@ -243,6 +257,9 @@ impl V2xDefenses {
         }
         if self.policy_check {
             parts.push("policy");
+        }
+        if self.anomaly {
+            parts.push("anomaly");
         }
         if parts.is_empty() {
             "none".into()
@@ -290,7 +307,7 @@ pub struct V2xConfig {
 
 impl V2xConfig {
     /// A full-defence, attacks-on configuration. `epochs` must leave room
-    /// for the rollout plus the attack tail (`ota_waves + 4`).
+    /// for the rollout plus the attack tail (`ota_waves + 5`).
     pub fn new(vehicles: usize, epochs: u64, frames_per_epoch: u64) -> Self {
         V2xConfig {
             fleet: FleetConfig::new(vehicles, epochs * frames_per_epoch),
@@ -480,8 +497,17 @@ struct V2xVehicle {
     /// after every applied update.
     ingest: PolicyEngine,
     ctx: EvalContext,
-    /// Highest lead sequence number accepted through the auth rung.
-    last_lead_seq: u32,
+    /// Highest authenticated sequence number accepted per *claimed* lead
+    /// index. Keying the replay window on the claimed identity means an
+    /// authentic stream under one identity can never poison the window of
+    /// another (a key-holding insider broadcasting under its own index
+    /// must not lock out the real lead's heartbeats).
+    lead_windows: BTreeMap<u32, u32>,
+    /// Behavioural models over the accepted platoon payload stream (the
+    /// anomaly rung's state).
+    platoon: PlatoonMonitor,
+    /// Attacker: own outgoing sequence counter for the value-spoof stream.
+    value_spoof_seq: u32,
     /// The lead's own outgoing sequence counter.
     lead_seq: u32,
     /// Attacker: last authentic platoon broadcast seen (replay/tamper
@@ -536,7 +562,9 @@ impl V2xVehicle {
             store,
             ingest,
             ctx: EvalContext::new().with_mode("normal"),
-            last_lead_seq: 0,
+            lead_windows: BTreeMap::new(),
+            platoon: PlatoonMonitor::default(),
+            value_spoof_seq: 0,
             lead_seq: 0,
             captured_platoon: None,
             captured_ota: None,
@@ -608,7 +636,12 @@ impl V2xVehicle {
         self.car.run_until(&cfg.fleet, target);
     }
 
-    /// The follower's three-rung acceptance ladder.
+    /// The replay window for a claimed lead index (0 when none accepted).
+    fn lead_window(&self, lead: u32) -> u32 {
+        self.lead_windows.get(&lead).copied().unwrap_or(0)
+    }
+
+    /// The follower's four-rung acceptance ladder.
     fn on_platoon(&mut self, cfg: &V2xConfig, from: usize, msg: &PlatoonMsg) {
         let is_attack = Some(from) == cfg.attacker() && from != self.shard;
         if self.is_attacker && !is_attack {
@@ -631,7 +664,7 @@ impl V2xVehicle {
             return;
         }
         if cfg.defenses.replay_window {
-            if msg.seq <= self.last_lead_seq {
+            if msg.seq <= self.lead_window(msg.lead) {
                 self.count("v2x.rejected_replay", 1);
                 if is_attack {
                     self.count("v2x.blocked_attacks", 1);
@@ -647,7 +680,7 @@ impl V2xVehicle {
             // lead — window bookkeeping keyed on attacker-controlled values
             // would be no window at all.
             if authentic {
-                self.last_lead_seq = msg.seq;
+                self.lead_windows.insert(msg.lead, msg.seq);
             }
         }
         if cfg.defenses.policy_check {
@@ -659,6 +692,26 @@ impl V2xVehicle {
             let now_us = self.car.now().as_micros();
             if !self.ingest.decide_at(&request, &self.ctx, now_us).is_allow() {
                 self.count("v2x.rejected_policy", 1);
+                if is_attack {
+                    self.count("v2x.blocked_attacks", 1);
+                }
+                return;
+            }
+        }
+        if cfg.defenses.anomaly {
+            // Behavioural rung: judge the advertised kinematics against the
+            // per-signal models (range, rate-of-change, stuck-value,
+            // brake/speed consistency). Flagged samples never advance the
+            // monitor baseline, so an attacker cannot walk the reference
+            // point toward an implausible value.
+            self.count("anomaly.checked", 1);
+            let verdict = self.platoon.judge(msg.speed, msg.brake);
+            if verdict.flagged() {
+                self.count("anomaly.flagged", 1);
+                if let Some(metric) = verdict.metric() {
+                    self.count(metric, 1);
+                }
+                self.count("v2x.rejected_anomaly", 1);
                 if is_attack {
                     self.count("v2x.blocked_attacks", 1);
                 }
@@ -861,11 +914,11 @@ impl V2xVehicle {
     /// The compromised member's output: rotating platoon attack variants,
     /// plus the tampered and stale OTA replays at fixed epochs.
     fn emit_attacks(&mut self, cfg: &V2xConfig, ctx: &mut EpochCtx<'_, V2xMsg>) {
-        match ctx.epoch % 4 {
+        match ctx.epoch % 5 {
             0 => {
                 // Spoofed lead: a fresh-looking emergency-brake order with
                 // a forged tag (the attacker does not hold the fleet key).
-                let seq = self.last_lead_seq + 100 + ctx.epoch as u32;
+                let seq = self.lead_window(cfg.lead() as u32) + 100 + ctx.epoch as u32;
                 let forged = PlatoonMsg {
                     lead: cfg.lead() as u32,
                     seq,
@@ -895,14 +948,14 @@ impl V2xVehicle {
                     self.count("v2x.attack.tamper", 1);
                 }
             }
-            _ => {
+            3 => {
                 // Spoofed "resume" blast: a burst of forged fresh-looking
                 // heartbeats trying to short-circuit a degraded follower's
                 // M-clean-heartbeat recovery (or to mask a real outage).
                 // The forged tags die at the auth rung, and the limp-home
                 // machine only samples transport-authenticated lead
                 // traffic — so the hysteresis is unaffected.
-                let base = self.last_lead_seq + 500 + ctx.epoch as u32;
+                let base = self.lead_window(cfg.lead() as u32) + 500 + ctx.epoch as u32;
                 for i in 0..3 {
                     let seq = base + i;
                     let forged = PlatoonMsg {
@@ -916,6 +969,26 @@ impl V2xVehicle {
                     ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(forged));
                 }
                 self.count("v2x.attack.spoof_resume", 1);
+            }
+            _ => {
+                // Value spoof: the compromised member broadcasts under its
+                // *own* identity with the real fleet key — a valid tag, a
+                // fresh per-identity sequence stream, and a claim the
+                // post-rollout policy allows. Every identity-centred rung
+                // passes; only the behavioural rung can tell 240 km/h is
+                // not a plausible platoon speed (Table I row 2 lifted onto
+                // the V2X plane).
+                self.value_spoof_seq += 1;
+                let msg = PlatoonMsg::signed(
+                    FLEET_V2X_KEY,
+                    self.shard as u32,
+                    self.value_spoof_seq,
+                    IMPLAUSIBLE_SPEED_KMH,
+                    false,
+                    CLAIM_V2X_LEAD,
+                );
+                ctx.outbox.broadcast(PLATOON_GROUP, V2xMsg::Platoon(msg));
+                self.count("v2x.attack.value_spoof", 1);
             }
         }
 
@@ -972,6 +1045,8 @@ impl V2xVehicle {
             "v2x.degraded_epochs",
             "v2x.lead_outage_epochs",
             "v2x.attack.spoof_resume",
+            "v2x.attack.value_spoof",
+            "v2x.rejected_anomaly",
             "ota.acks",
             "ota.acks_sent",
             "ota.ack_ignored",
@@ -1040,10 +1115,10 @@ impl V2xReport {
 ///
 /// # Panics
 /// Panics when `epochs` leaves no room for the rollout (and, with attacks
-/// on, the tamper/stale tail): `epochs >= ota_waves + 4` with attacks,
-/// `>= ota_waves + 1` without.
+/// on, the tamper/stale tail plus one full attack rotation):
+/// `epochs >= ota_waves + 5` with attacks, `>= ota_waves + 1` without.
 pub fn run_v2x(cfg: &V2xConfig) -> V2xReport {
-    let needed = cfg.ota_waves + if cfg.attacks { 4 } else { 1 };
+    let needed = cfg.ota_waves + if cfg.attacks { 5 } else { 1 };
     assert!(
         cfg.epochs >= needed,
         "epochs {} too short for {} rollout waves (need >= {needed})",
@@ -1132,6 +1207,11 @@ mod tests {
             m.counter("v2x.rejected_policy") > 0,
             "pre-rollout messages die at the policy rung"
         );
+        assert!(m.counter("v2x.attack.value_spoof") > 0, "the value spoof fired");
+        assert!(
+            m.counter("v2x.rejected_anomaly") > 0,
+            "the key-holding value spoof dies at the behavioural rung"
+        );
         // every vehicle applied exactly the one legitimate rollout bundle
         assert_eq!(m.counter("ota.applied"), 5);
         assert_eq!(m.counter("ota.version_sum"), 5);
@@ -1162,6 +1242,7 @@ mod tests {
             auth: true,
             replay_window: false,
             policy_check: false,
+            anomaly: false,
         };
         let report = run_v2x(&cfg);
         // replayed authentic broadcasts get through; forged ones do not
@@ -1317,8 +1398,48 @@ mod tests {
 
     #[test]
     fn defence_labels() {
-        assert_eq!(V2xDefenses::full().label(), "auth+replay+policy");
+        assert_eq!(V2xDefenses::full().label(), "auth+replay+policy+anomaly");
         assert_eq!(V2xDefenses::none().label(), "none");
+    }
+
+    #[test]
+    fn value_spoof_dies_at_the_anomaly_rung_and_leaks_without_it() {
+        // Rung-removal experiment (Table I row 2 on the V2X plane): the
+        // value spoof carries a valid fleet-key tag, a fresh per-identity
+        // sequence stream and a policy-allowed claim, so auth, replay and
+        // policy all pass it — only the behavioural rung stops it.
+        let report = run_v2x(&tiny(5));
+        assert_eq!(report.v2x_leaked(), 0);
+        assert!(report.metrics.counter("v2x.rejected_anomaly") > 0);
+        assert!(report.metrics.counter("anomaly.out_of_range") > 0);
+
+        let mut removed = tiny(5);
+        removed.defenses.anomaly = false;
+        let report = run_v2x(&removed);
+        assert!(
+            report.v2x_leaked() > 0,
+            "without the behavioural rung the implausible broadcast is accepted"
+        );
+        assert_eq!(report.metrics.counter("v2x.rejected_anomaly"), 0);
+    }
+
+    #[test]
+    fn value_spoof_cannot_poison_the_real_leads_replay_window() {
+        // The attacker's authentic value-spoof stream runs under its own
+        // claimed lead index; per-identity replay windows keep the real
+        // lead's heartbeat stream unaffected, so no follower ever enters
+        // limp-home in a fault-free full-defence run.
+        let mut cfg = tiny(5);
+        cfg.defenses.anomaly = false; // spoof stream is *accepted*…
+        let report = run_v2x(&cfg);
+        let m = &report.metrics;
+        assert!(report.v2x_leaked() > 0);
+        assert_eq!(
+            m.counter("v2x.degraded_entries"),
+            0,
+            "…yet the lead's heartbeats keep flowing"
+        );
+        assert_eq!(m.counter("v2x.heartbeat_misses"), 0);
     }
 
     #[test]

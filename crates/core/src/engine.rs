@@ -20,12 +20,12 @@
 //!   subject index is keyed by two `u32`s and no per-request strings exist;
 //! * statistics are plain atomic counters;
 //! * rate windows are per-key atomic bucket rings, consulted only when a
-//!   candidate rule actually references [`Condition::RateAtMost`]
+//!   candidate rule actually references [`crate::Condition::RateAtMost`]
 //!   (a rate-dependency map computed at load time);
 //! * the audit trail is a set of sharded, pre-allocated rings picked by
 //!   thread, merged only when read;
 //! * decisions themselves are cached in a generation-tagged
-//!   [`GenCache`](crate::cache::GenCache) keyed by
+//!   [`crate::cache::GenCache`] keyed by
 //!   `(subject, object, action, mode)`; [`PolicyEngine::reload`] bumps the
 //!   generation so stale entries can never answer. Rules whose conditions
 //!   read state or rates are excluded from caching by construction.
@@ -591,6 +591,40 @@ const KIND_PRIORITY: u64 = 4;
 
 /// The policy evaluation engine. See the module docs for semantics and for
 /// the fast-path design.
+///
+/// # Quickstart
+///
+/// ```
+/// use polsec_core::{AccessRequest, Action, Effect, EntityId, EvalContext, PolicyEngine};
+/// use polsec_core::dsl::parse_policy;
+///
+/// let policy = parse_policy(r#"
+///     policy "doors" version 1 {
+///         default deny;
+///         allow write on asset:door-locks from entry:manual;
+///         deny write on asset:door-locks from entry:telematics when mode == normal;
+///     }
+/// "#)?;
+/// let engine = PolicyEngine::from_policy(policy);
+///
+/// let ctx = EvalContext::new().with_mode("normal");
+/// let manual = AccessRequest::new(
+///     EntityId::new("entry", "manual"),
+///     EntityId::new("asset", "door-locks"),
+///     Action::Write,
+/// );
+/// assert_eq!(engine.decide(&manual, &ctx).effect(), Effect::Allow);
+///
+/// let remote = AccessRequest::new(
+///     EntityId::new("entry", "telematics"),
+///     EntityId::new("asset", "door-locks"),
+///     Action::Write,
+/// );
+/// let verdict = engine.decide(&remote, &ctx);
+/// assert_eq!(verdict.effect(), Effect::Deny);
+/// println!("{}", verdict.reason()); // names the rule that fired
+/// # Ok::<(), polsec_core::PolicyError>(())
+/// ```
 pub struct PolicyEngine {
     rules: Vec<CompiledRule>,
     default_effect: Effect,
@@ -628,7 +662,7 @@ impl PolicyEngine {
     /// Creates an engine over a policy set with the default strategy
     /// (deny-overrides), indexing and decision caching enabled, sized for a
     /// shared, service-scale deployment ([`AuditLog::DEFAULT_CAPACITY`]
-    /// audit records per shard, [`DECISION_CACHE_SLOTS`] cache slots).
+    /// audit records per shard, `DECISION_CACHE_SLOTS` (8192) cache slots).
     pub fn new(set: PolicySet) -> Self {
         PolicyEngine::with_footprint(set, AuditLog::DEFAULT_CAPACITY, DECISION_CACHE_SLOTS)
     }

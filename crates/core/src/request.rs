@@ -116,6 +116,25 @@ impl EvalContext {
         self.state.insert(key.into(), value.into());
     }
 
+    /// Writes a state variable, reusing the existing value's allocation
+    /// when the key is already present.
+    ///
+    /// Hot enforcement paths (the fleet's behavioural monitors flip
+    /// `implausible` on every flagged frame) republish the same few keys
+    /// constantly; after the first write this is allocation-free as long
+    /// as the new value fits the old capacity.
+    pub fn set_state_in_place(&mut self, key: &str, value: &str) {
+        match self.state.get_mut(key) {
+            Some(slot) => {
+                slot.clear();
+                slot.push_str(value);
+            }
+            None => {
+                self.state.insert(key.to_string(), value.to_string());
+            }
+        }
+    }
+
     /// The tracked rate for a key (0.0 when unknown).
     pub fn rate_per_sec(&self, key: &str) -> f64 {
         self.rates.get(key).copied().unwrap_or(0.0)
@@ -194,6 +213,21 @@ mod tests {
         ctx.set_state("doors", "open");
         assert_eq!(ctx.mode(), Some("fail-safe"));
         assert_eq!(ctx.state("doors"), Some("open"));
+    }
+
+    #[test]
+    fn in_place_state_writes_match_inserting_ones() {
+        let mut a = EvalContext::new().with_state("implausible", "false");
+        let mut b = a.clone();
+        a.set_state("implausible", "true");
+        b.set_state_in_place("implausible", "true");
+        assert_eq!(a, b);
+        // A fresh key inserts like the plain setter does.
+        b.set_state_in_place("new", "v");
+        assert_eq!(b.state("new"), Some("v"));
+        // A shorter value fully replaces the longer one.
+        b.set_state_in_place("implausible", "f");
+        assert_eq!(b.state("implausible"), Some("f"));
     }
 
     #[test]

@@ -18,12 +18,11 @@ fn main() {
             "gateway whitelist only",
             FleetEnforcement {
                 gateway_whitelist: true,
-                node_hpe: false,
-                segment_hpe: false,
-                app_policy: false,
+                ..FleetEnforcement::none()
             },
         ),
         ("full baseline", FleetEnforcement::baseline()),
+        ("shipped (baseline + anomaly)", FleetEnforcement::shipped()),
     ];
 
     for (label, enforcement) in ladders {

@@ -19,12 +19,14 @@ fn main() {
         (
             "replay window only",
             V2xDefenses {
-                auth: false,
                 replay_window: true,
-                policy_check: false,
+                ..V2xDefenses::none()
             },
         ),
-        ("full ladder (auth + replay + policy)", V2xDefenses::full()),
+        (
+            "full ladder (auth + replay + policy + anomaly)",
+            V2xDefenses::full(),
+        ),
     ];
 
     for (label, defenses) in ladders {
@@ -47,10 +49,11 @@ fn main() {
             report.metrics.counter("v2x.ecu_platoon_msgs"),
         );
         println!(
-            "rejections: auth={} replay={} policy={}",
+            "rejections: auth={} replay={} policy={} anomaly={}",
             report.metrics.counter("v2x.rejected_auth"),
             report.metrics.counter("v2x.rejected_replay"),
             report.metrics.counter("v2x.rejected_policy"),
+            report.metrics.counter("v2x.rejected_anomaly"),
         );
         println!(
             "OTA rollout: {} applied / {} vehicles; tampered rejected={} stale rejected={}",

@@ -61,9 +61,7 @@ fn enforcement_ladder_monotonically_reduces_leaks() {
     let none = run_fleet(&small(FleetEnforcement::none()));
     let gw_only = run_fleet(&small(FleetEnforcement {
         gateway_whitelist: true,
-        node_hpe: false,
-        segment_hpe: false,
-        app_policy: false,
+        ..FleetEnforcement::none()
     }));
     let full = run_fleet(&small(FleetEnforcement::baseline()));
     assert!(none.leaked() > 0, "unprotected fleet must leak");
@@ -80,9 +78,7 @@ fn enforcement_ladder_monotonically_reduces_leaks() {
 fn gateway_whitelist_blocks_crossing_attacks_but_not_status_traffic() {
     let report = run_fleet(&small(FleetEnforcement {
         gateway_whitelist: true,
-        node_hpe: false,
-        segment_hpe: false,
-        app_policy: false,
+        ..FleetEnforcement::none()
     }));
     assert_eq!(
         report.metrics.counter("attack.crossed_gateway"),

@@ -73,9 +73,8 @@ fn v2x_defence_ladder_mirrors_the_fleet_ladder() {
     // replay window alone stops replays but not forged-tag spoofs
     let mut window_only = small(6);
     window_only.defenses = V2xDefenses {
-        auth: false,
         replay_window: true,
-        policy_check: false,
+        ..V2xDefenses::none()
     };
     let window_report = run_v2x(&window_only);
     assert!(window_report.metrics.counter("v2x.rejected_replay") > 0);
